@@ -1,0 +1,25 @@
+//! Round-robin arbitration-tree throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_mot::switch::ArbitrationTree;
+
+fn bench_arbiter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arbitration");
+    for n in [4usize, 16, 32] {
+        g.bench_function(format!("saturated_{n}"), |b| {
+            let mut tree = ArbitrationTree::new(n);
+            let reqs = vec![true; n];
+            b.iter(|| black_box(tree.grant(black_box(&reqs))))
+        });
+        g.bench_function(format!("sparse_{n}"), |b| {
+            let mut tree = ArbitrationTree::new(n);
+            let mut reqs = vec![false; n];
+            reqs[n / 2] = true;
+            b.iter(|| black_box(tree.grant(black_box(&reqs))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_arbiter);
+criterion_main!(benches);

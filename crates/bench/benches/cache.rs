@@ -1,0 +1,48 @@
+//! Set-associative cache operation throughput (L1 and L2-bank shapes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_mem::addr::LineAddr;
+use mot3d_mem::cache::{CacheConfig, SetAssocCache};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("l1_hit_read", |b| {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l1_date16()).unwrap();
+        cache.fill(LineAddr(7), 1, false);
+        b.iter(|| black_box(cache.read(black_box(LineAddr(7)))))
+    });
+    g.bench_function("l1_miss_read", |b| {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l1_date16()).unwrap();
+        b.iter(|| black_box(cache.read(black_box(LineAddr(999)))))
+    });
+    g.bench_function("l2_fill_evict_stream", |b| {
+        let mut cache: SetAssocCache<()> =
+            SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 32; // march through sets, forcing steady-state evictions
+            black_box(cache.fill(LineAddr(n), n, n % 3 == 0))
+        })
+    });
+    g.bench_function("l2_mixed_ops", |b| {
+        let mut cache: SetAssocCache<()> =
+            SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
+        for i in 0..512u64 {
+            cache.fill(LineAddr(i * 32), i, false);
+        }
+        let mut n = 0u64;
+        b.iter(|| {
+            n = (n + 1) % 512;
+            let line = LineAddr(n * 32);
+            if n % 4 == 0 {
+                black_box(cache.write(line, n));
+            } else {
+                black_box(cache.read(line));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

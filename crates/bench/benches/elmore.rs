@@ -1,0 +1,35 @@
+//! Microbenchmarks of the RC/Elmore engine (the paper's delay model).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_phys::rc::{RcTree, RepeatedWire};
+use mot3d_phys::units::{Farads, Meters, Ohms};
+use mot3d_phys::Technology;
+
+fn chain(n: usize) -> (RcTree, mot3d_phys::rc::NodeId) {
+    let mut t = RcTree::new(Farads::ZERO);
+    let mut at = t.root();
+    for i in 0..n {
+        at = t.add_node(at, Ohms::new(50.0 + i as f64), Farads::from_ff(2.0));
+    }
+    (t, at)
+}
+
+fn bench_elmore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elmore");
+    for n in [16usize, 128, 1024] {
+        let (tree, sink) = chain(n);
+        g.bench_function(format!("chain_{n}"), |b| {
+            b.iter(|| black_box(tree.elmore_delay(black_box(sink))))
+        });
+    }
+    let (tree, _) = chain(1024);
+    g.bench_function("all_sinks_1024", |b| b.iter(|| black_box(tree.elmore_delays())));
+    let tech = Technology::lp45();
+    g.bench_function("repeated_wire_7_5mm", |b| {
+        b.iter(|| black_box(RepeatedWire::new(&tech, Meters::from_mm(7.5))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_elmore);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! End-to-end figure regeneration at reduced scale — one bench per paper
+//! table/figure, so `cargo bench` exercises every experiment path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_bench::{fig5, fig6, fig7, table1, ExperimentScale};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("table1", |b| b.iter(|| black_box(table1())));
+    g.bench_function("fig5", |b| b.iter(|| black_box(fig5())));
+    g.bench_function("fig6_tiny", |b| {
+        b.iter(|| black_box(fig6(ExperimentScale::tiny())))
+    });
+    g.bench_function("fig7_tiny", |b| {
+        b.iter(|| black_box(fig7(ExperimentScale::tiny())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

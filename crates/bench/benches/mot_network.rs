@@ -1,0 +1,68 @@
+//! Cycle throughput of the MoT network model under load.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_mot::traits::{Interconnect, MemRequest, MemResponse, ReqKind};
+use mot3d_mot::{MotNetwork, PowerState};
+
+/// One full saturation round trip: 16 requests, grants, responses.
+fn round_trip(net: &mut MotNetwork, base: u64) -> u64 {
+    for core in 0..16 {
+        net.inject_request(
+            base,
+            MemRequest {
+                core,
+                home_bank: (core * 2) % 32,
+                kind: ReqKind::ReadLine,
+                tag: base + core as u64,
+            },
+        );
+    }
+    let mut done = 0;
+    let mut now = base;
+    while done < 16 {
+        net.tick(now);
+        while let Some(a) = net.pop_arrival() {
+            net.inject_response(
+                now,
+                MemResponse {
+                    core: a.request.core,
+                    bank: a.bank,
+                    kind: a.request.kind,
+                    tag: a.request.tag,
+                },
+            );
+        }
+        while net.pop_delivery().is_some() {
+            done += 1;
+        }
+        now += 1;
+    }
+    now
+}
+
+fn bench_mot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mot_network");
+    g.bench_function("idle_tick", |b| {
+        let mut net = MotNetwork::date16(PowerState::full()).unwrap();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            net.tick(black_box(now))
+        })
+    });
+    g.bench_function("saturation_round_trip_16", |b| {
+        let mut net = MotNetwork::date16(PowerState::full()).unwrap();
+        let mut base = 0u64;
+        b.iter(|| {
+            base = round_trip(&mut net, base) + 1;
+            black_box(base)
+        })
+    });
+    g.bench_function("build_date16", |b| {
+        b.iter(|| black_box(MotNetwork::date16(PowerState::full()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mot);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Packet-switched baseline throughput (per-topology round trips).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_mot::traits::{Interconnect, MemRequest, MemResponse, ReqKind};
+use mot3d_noc::{NocNetwork, NocTopologyKind};
+
+fn round_trip(net: &mut NocNetwork, base: u64) -> u64 {
+    for core in 0..16 {
+        net.inject_request(
+            base,
+            MemRequest {
+                core,
+                home_bank: (core * 2) % 32,
+                kind: ReqKind::ReadLine,
+                tag: base + core as u64,
+            },
+        );
+    }
+    let mut done = 0;
+    let mut now = base;
+    while done < 16 {
+        net.tick(now);
+        while let Some(a) = net.pop_arrival() {
+            net.inject_response(
+                now,
+                MemResponse {
+                    core: a.request.core,
+                    bank: a.bank,
+                    kind: a.request.kind,
+                    tag: a.request.tag,
+                },
+            );
+        }
+        while net.pop_delivery().is_some() {
+            done += 1;
+        }
+        now += 1;
+    }
+    now
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noc");
+    for kind in NocTopologyKind::all() {
+        g.bench_function(format!("round_trip_16_{kind}"), |b| {
+            let mut net = NocNetwork::date16(kind);
+            let mut base = 0u64;
+            b.iter(|| {
+                base = round_trip(&mut net, base) + 1;
+                black_box(base)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_noc);
+criterion_main!(benches);

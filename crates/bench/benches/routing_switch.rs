@@ -1,0 +1,39 @@
+//! Routing-switch decisions and the power-state bank remap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_mot::power_state::PowerState;
+use mot3d_mot::reconfig::MotConfiguration;
+use mot3d_mot::switch::{RoutingMode, RoutingSwitch, Port};
+use mot3d_mot::topology::MotTopology;
+
+fn bench_switch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_switch");
+    g.bench_function("route_conventional", |b| {
+        let sw = RoutingSwitch::new();
+        b.iter(|| black_box(sw.route(black_box(true))))
+    });
+    g.bench_function("route_user_defined", |b| {
+        let mut sw = RoutingSwitch::new();
+        sw.set_mode(RoutingMode::UserDefined(Port::Port0));
+        b.iter(|| black_box(sw.route(black_box(true))))
+    });
+    let cfg = MotConfiguration::new(MotTopology::date16(), PowerState::pc16_mb8()).unwrap();
+    g.bench_function("remap_bank_32", |b| {
+        b.iter(|| {
+            for h in 0..32usize {
+                black_box(cfg.remap_bank(black_box(h)));
+            }
+        })
+    });
+    g.bench_function("build_configuration", |b| {
+        b.iter(|| {
+            black_box(
+                MotConfiguration::new(MotTopology::date16(), PowerState::pc4_mb8()).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_switch);
+criterion_main!(benches);

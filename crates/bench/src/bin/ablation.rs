@@ -1,0 +1,75 @@
+//! Ablation studies beyond the paper's four figures (DESIGN.md §4):
+//!
+//! 1. **Power-state sweep** — the paper evaluates 4 of the many
+//!    reachable (PCx, MBy) combinations; sweep the full power-of-two
+//!    grid for one limited-scalability and one scalable program.
+//! 2. **Open-page DRAM** — the paper assumes flat DRAM latency; how much
+//!    does a 4 KB open-page policy change the picture?
+//! 3. **Technology sensitivity** — derived MoT latencies on a slower
+//!    65 nm-class node.
+
+use mot3d_bench::ExperimentScale;
+use mot3d_mot::latency::{MotLatency, MotTimingParams};
+use mot3d_mot::topology::MotTopology;
+use mot3d_mot::PowerState;
+use mot3d_phys::geometry::Floorplan;
+use mot3d_phys::Technology;
+use mot3d_sim::{run_benchmark, SimConfig};
+use mot3d_workloads::SplashBenchmark;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+
+    println!("== Ablation 1: full power-state grid (EDP normalised to Full) ==");
+    for bench in [SplashBenchmark::Fft, SplashBenchmark::OceanContiguous] {
+        println!("\n{bench}:");
+        println!("{:<12} {:>10} {:>12} {:>12}", "state", "cycles", "EDP ratio", "time ratio");
+        let full = run_benchmark(bench, scale.scale, &SimConfig::date16()).unwrap();
+        for cores in [16usize, 8, 4] {
+            for banks in [32usize, 16, 8] {
+                let state = PowerState::new(cores, banks).unwrap();
+                let cfg = SimConfig::date16().with_power_state(state);
+                let m = run_benchmark(bench, scale.scale, &cfg).unwrap();
+                println!(
+                    "{:<12} {:>10} {:>12.3} {:>12.3}",
+                    format!("PC{cores}-MB{banks}"),
+                    m.cycles,
+                    m.edp().value() / full.edp().value(),
+                    m.cycles as f64 / full.cycles as f64,
+                );
+            }
+        }
+    }
+
+    println!("\n== Ablation 2: flat vs open-page DRAM (Full connection) ==");
+    println!("{:<18} {:>12} {:>12} {:>8}", "benchmark", "flat", "open-page", "delta");
+    for bench in SplashBenchmark::all() {
+        let flat = run_benchmark(bench, scale.scale, &SimConfig::date16()).unwrap();
+        let mut cfg = SimConfig::date16();
+        cfg.dram_open_page = true;
+        let open = run_benchmark(bench, scale.scale, &cfg).unwrap();
+        println!(
+            "{:<18} {:>12} {:>12} {:>7.1}%",
+            bench.to_string(),
+            flat.cycles,
+            open.cycles,
+            100.0 * (open.cycles as f64 / flat.cycles as f64 - 1.0),
+        );
+    }
+
+    println!("\n== Ablation 3: derived MoT latency by technology node ==");
+    println!("{:<16} {:>10} {:>10}", "state", "45nm-LP", "65nm-LP");
+    let fp = Floorplan::date16();
+    let topo = MotTopology::date16();
+    let params = MotTimingParams::default();
+    for state in PowerState::date16_states() {
+        let a = MotLatency::derive(&Technology::lp45(), &fp, topo, &params, state).unwrap();
+        let b = MotLatency::derive(&Technology::lp65(), &fp, topo, &params, state).unwrap();
+        println!(
+            "{:<16} {:>10} {:>10}",
+            state.to_string(),
+            a.round_trip(),
+            b.round_trip()
+        );
+    }
+}

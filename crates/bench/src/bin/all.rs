@@ -1,0 +1,27 @@
+//! Runs every experiment and prints an EXPERIMENTS.md-ready report.
+
+use mot3d_bench::{fig5, fig6, fig7, fig8, table1, ExperimentScale};
+use mot3d_bench::report;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running all experiments at scale {} ...", scale.scale);
+    println!("== Table I ==");
+    print!("{}", report::render_table1(&table1()));
+    println!("\n== Fig. 5 ==");
+    print!("{}", report::render_fig5(&fig5()));
+    println!("\n== Fig. 6 ==");
+    print!("{}", report::render_fig6(&fig6(scale)));
+    println!("\n== Fig. 7 (200 ns DRAM) ==");
+    let f7 = fig7(scale);
+    print!("{}", report::render_fig7(&f7, "200 ns"));
+    println!();
+    print!("{}", report::render_fig7_claims(&f7));
+    println!("\n== Fig. 8 ==");
+    let f8 = fig8(scale);
+    print!("{}", report::render_fig7(&f8.at_63ns, "63 ns (Wide I/O)"));
+    println!();
+    print!("{}", report::render_fig7(&f8.at_42ns, "42 ns (Weis 3-D)"));
+    println!();
+    print!("{}", report::render_fig7_claims(&f8.at_63ns));
+}

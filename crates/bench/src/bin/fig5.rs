@@ -1,0 +1,6 @@
+//! Regenerates Fig. 5's wire-length comparison.
+
+fn main() {
+    let rows = mot3d_bench::fig5();
+    print!("{}", mot3d_bench::report::render_fig5(&rows));
+}

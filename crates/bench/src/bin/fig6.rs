@@ -1,0 +1,10 @@
+//! Regenerates Fig. 6: the four-interconnect comparison.
+
+use mot3d_bench::{fig6, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running Fig. 6 at scale {} (set MOT3D_SCALE to change)...", scale.scale);
+    let rows = fig6(scale);
+    print!("{}", mot3d_bench::report::render_fig6(&rows));
+}

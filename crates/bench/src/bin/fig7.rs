@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7: EDP and execution time across power states @ 200 ns.
+
+use mot3d_bench::{fig7, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    eprintln!("running Fig. 7 at scale {} (set MOT3D_SCALE to change)...", scale.scale);
+    let rows = fig7(scale);
+    print!("{}", mot3d_bench::report::render_fig7(&rows, "200 ns"));
+    println!();
+    print!("{}", mot3d_bench::report::render_fig7_claims(&rows));
+}

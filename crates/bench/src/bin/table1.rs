@@ -1,0 +1,6 @@
+//! Regenerates Table I's derived L2 latencies.
+
+fn main() {
+    let rows = mot3d_bench::table1();
+    print!("{}", mot3d_bench::report::render_table1(&rows));
+}

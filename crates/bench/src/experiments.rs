@@ -1,0 +1,332 @@
+//! Experiment runners, one per paper table/figure.
+
+use mot3d_mem::dram::DramKind;
+use mot3d_mot::latency::{MotLatency, MotTimingParams};
+use mot3d_mot::topology::MotTopology;
+use mot3d_mot::PowerState;
+use mot3d_noc::NocTopologyKind;
+use mot3d_phys::geometry::Floorplan;
+use mot3d_phys::Technology;
+use mot3d_sim::{run_benchmark, InterconnectChoice, Metrics, SimConfig};
+use mot3d_workloads::SplashBenchmark;
+
+/// Run-length and seed for an experiment batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Fraction of the default per-program instruction budget.
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Reads `MOT3D_SCALE` (default 0.05).
+    pub fn from_env() -> Self {
+        let scale = std::env::var("MOT3D_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|s| *s > 0.0)
+            .unwrap_or(0.35);
+        ExperimentScale {
+            scale,
+            seed: 0x0DA7_E201,
+        }
+    }
+
+    /// A fixed tiny scale for tests/benches.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            scale: 0.004,
+            seed: 0x0DA7_E201,
+        }
+    }
+}
+
+fn base_config(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::date16();
+    cfg.seed = seed;
+    cfg
+}
+
+fn must_run(bench: SplashBenchmark, scale: f64, cfg: &SimConfig) -> Metrics {
+    run_benchmark(bench, scale, cfg)
+        .unwrap_or_else(|e| panic!("{bench} on {}: {e}", cfg.interconnect))
+}
+
+// ---------------------------------------------------------------- Table I
+
+/// One derived row of Table I's L2-latency block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Power-state name.
+    pub state: String,
+    /// Active banks.
+    pub banks: usize,
+    /// Derived round-trip latency in cycles.
+    pub latency_cycles: u64,
+    /// The paper's Table I value.
+    pub paper_cycles: u64,
+}
+
+/// Derives Table I's four L2 latencies from the physical models.
+pub fn table1() -> Vec<Table1Row> {
+    let tech = Technology::lp45();
+    let fp = Floorplan::date16();
+    let topo = MotTopology::date16();
+    let params = MotTimingParams::default();
+    let paper = [12u64, 9, 9, 7];
+    PowerState::date16_states()
+        .iter()
+        .zip(paper)
+        .map(|(state, paper_cycles)| {
+            let lat = MotLatency::derive(&tech, &fp, topo, &params, *state)
+                .expect("Table I states fit the cluster");
+            Table1Row {
+                state: state.to_string(),
+                banks: state.active_banks(),
+                latency_cycles: lat.round_trip(),
+                paper_cycles,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Fig. 5
+
+/// Wire-length comparison of the power states (Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Row {
+    /// Power-state name.
+    pub state: String,
+    /// Longest in-plane run (mm).
+    pub horizontal_mm: f64,
+    /// Vertical crossings to the farthest active bank.
+    pub vertical_hops: usize,
+    /// Vertical span (µm).
+    pub vertical_um: f64,
+    /// Total live interconnect wire estimate (mm), the leakage proxy.
+    pub active_wire_mm: f64,
+}
+
+/// Computes Fig. 5's geometry for the four power states.
+pub fn fig5() -> Vec<Fig5Row> {
+    let fp = Floorplan::date16();
+    PowerState::date16_states()
+        .iter()
+        .map(|s| {
+            let p = fp
+                .longest_path(s.active_cores(), s.active_banks())
+                .expect("states fit the floorplan");
+            let wire = fp
+                .active_wire_estimate(s.active_cores(), s.active_banks())
+                .expect("states fit the floorplan");
+            Fig5Row {
+                state: s.to_string(),
+                horizontal_mm: p.horizontal.mm(),
+                vertical_hops: p.vertical_hops,
+                vertical_um: p.vertical.um(),
+                active_wire_mm: wire.mm(),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Fig. 6
+
+/// Per-benchmark comparison of the four interconnects (Fig. 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Program name.
+    pub bench: String,
+    /// Mean L2 access latency (cycles) per interconnect, in the paper's
+    /// order: True 3-D Mesh, Hybrid Bus-Mesh, Hybrid Bus-Tree, 3-D MoT.
+    pub l2_latency: [f64; 4],
+    /// Execution cycles per interconnect, same order.
+    pub exec_cycles: [u64; 4],
+}
+
+impl Fig6Row {
+    /// MoT execution-time reduction vs baseline `i` (0 = mesh, 1 =
+    /// bus-mesh, 2 = bus-tree), in percent.
+    pub fn mot_reduction_vs(&self, i: usize) -> f64 {
+        100.0 * (1.0 - self.exec_cycles[3] as f64 / self.exec_cycles[i] as f64)
+    }
+}
+
+/// The interconnect order of Fig. 6.
+pub fn fig6_interconnects() -> [InterconnectChoice; 4] {
+    [
+        InterconnectChoice::Noc(NocTopologyKind::Mesh3d),
+        InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh),
+        InterconnectChoice::Noc(NocTopologyKind::HybridBusTree),
+        InterconnectChoice::Mot,
+    ]
+}
+
+/// Runs Fig. 6: all benchmarks over all four interconnects (Full state,
+/// 200 ns DRAM).
+pub fn fig6(scale: ExperimentScale) -> Vec<Fig6Row> {
+    SplashBenchmark::all()
+        .iter()
+        .map(|bench| {
+            let mut l2 = [0.0; 4];
+            let mut cycles = [0u64; 4];
+            for (i, ic) in fig6_interconnects().into_iter().enumerate() {
+                let cfg = base_config(scale.seed).with_interconnect(ic);
+                let m = must_run(*bench, scale.scale, &cfg);
+                l2[i] = m.l2_latency.mean();
+                cycles[i] = m.cycles;
+            }
+            Fig6Row {
+                bench: bench.to_string(),
+                l2_latency: l2,
+                exec_cycles: cycles,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- Fig. 7/8
+
+/// Per-benchmark results across the four power states at one DRAM option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Row {
+    /// Program name.
+    pub bench: String,
+    /// EDP (J·s) per state, in Fig. 7 order: Full, PC16-MB8, PC4-MB32,
+    /// PC4-MB8.
+    pub edp: [f64; 4],
+    /// Execution cycles per state, same order.
+    pub exec_cycles: [u64; 4],
+}
+
+impl Fig7Row {
+    /// EDP reduction of state `i` vs Full connection, percent (positive =
+    /// better).
+    pub fn edp_reduction(&self, i: usize) -> f64 {
+        100.0 * (1.0 - self.edp[i] / self.edp[0])
+    }
+
+    /// Execution-time change of state `i` vs Full, percent (positive =
+    /// slower).
+    pub fn time_increase(&self, i: usize) -> f64 {
+        100.0 * (self.exec_cycles[i] as f64 / self.exec_cycles[0] as f64 - 1.0)
+    }
+
+    /// Fig. 7(b)'s scaling view: execution-time reduction going from 4
+    /// cores (PC4-MB32) to 16 cores (Full), percent.
+    pub fn scaling_reduction_4_to_16(&self) -> f64 {
+        100.0 * (1.0 - self.exec_cycles[0] as f64 / self.exec_cycles[2] as f64)
+    }
+}
+
+/// Runs Fig. 7: all benchmarks over the four power states at the given
+/// DRAM option (Fig. 7 uses 200 ns; Fig. 8 reuses this at 63/42 ns).
+pub fn fig7_at(scale: ExperimentScale, dram: DramKind) -> Vec<Fig7Row> {
+    SplashBenchmark::all()
+        .iter()
+        .map(|bench| {
+            let mut edp = [0.0; 4];
+            let mut cycles = [0u64; 4];
+            for (i, state) in PowerState::date16_states().into_iter().enumerate() {
+                let cfg = base_config(scale.seed)
+                    .with_power_state(state)
+                    .with_dram(dram);
+                let m = must_run(*bench, scale.scale, &cfg);
+                edp[i] = m.edp().value();
+                cycles[i] = m.cycles;
+            }
+            Fig7Row {
+                bench: bench.to_string(),
+                edp,
+                exec_cycles: cycles,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 7 proper (200 ns DRAM).
+pub fn fig7(scale: ExperimentScale) -> Vec<Fig7Row> {
+    fig7_at(scale, DramKind::OffChipDdr3)
+}
+
+/// Fig. 8: the same power-state sweep at the two on-chip DRAM latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8Result {
+    /// Rows at 63 ns (Wide I/O).
+    pub at_63ns: Vec<Fig7Row>,
+    /// Rows at 42 ns (Weis 3-D DRAM).
+    pub at_42ns: Vec<Fig7Row>,
+}
+
+/// Runs Fig. 8.
+pub fn fig8(scale: ExperimentScale) -> Fig8Result {
+    Fig8Result {
+        at_63ns: fig7_at(scale, DramKind::WideIo),
+        at_42ns: fig7_at(scale, DramKind::Weis3d),
+    }
+}
+
+/// Mean of a per-benchmark statistic over a named group.
+pub fn group_mean(rows: &[Fig7Row], group: &[SplashBenchmark], f: impl Fn(&Fig7Row) -> f64) -> f64 {
+    let names: Vec<String> = group.iter().map(|b| b.to_string()).collect();
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter(|r| names.contains(&r.bench))
+        .map(f)
+        .collect();
+    vals.iter().sum::<f64>() / vals.len() as f64
+}
+
+/// Max of a per-benchmark statistic over a named group.
+pub fn group_max(rows: &[Fig7Row], group: &[SplashBenchmark], f: impl Fn(&Fig7Row) -> f64) -> f64 {
+    let names: Vec<String> = group.iter().map(|b| b.to_string()).collect();
+    rows.iter()
+        .filter(|r| names.contains(&r.bench))
+        .map(f)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper_exactly() {
+        for row in table1() {
+            assert_eq!(
+                row.latency_cycles, row.paper_cycles,
+                "{}: derived {} vs paper {}",
+                row.state, row.latency_cycles, row.paper_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_lengths_contract_toward_pc4_mb8() {
+        let rows = fig5();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0].horizontal_mm - 7.5).abs() < 1e-9);
+        assert!((rows[3].horizontal_mm - 2.5).abs() < 1e-9);
+        assert!(rows[3].active_wire_mm < rows[0].active_wire_mm / 4.0);
+    }
+
+    #[test]
+    fn fig6_tiny_run_has_mot_winning() {
+        let rows = fig6(ExperimentScale::tiny());
+        assert_eq!(rows.len(), 8);
+        let mean_reduction: f64 =
+            rows.iter().map(|r| r.mot_reduction_vs(0)).sum::<f64>() / rows.len() as f64;
+        assert!(
+            mean_reduction > 0.0,
+            "MoT must beat the mesh on average: {mean_reduction:.1}%"
+        );
+        for r in &rows {
+            assert!(
+                r.l2_latency[3] < r.l2_latency[0],
+                "{}: MoT L2 latency must beat the mesh",
+                r.bench
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mot3d-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§IV):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table I — architecture configuration incl. derived L2 latencies |
+//! | `fig5`   | Fig. 5 — wire lengths per power state |
+//! | `fig6`   | Fig. 6 — L2 access latency + execution time across the four interconnects |
+//! | `fig7`   | Fig. 7 — EDP + execution time across the four power states @ 200 ns DRAM |
+//! | `fig8`   | Fig. 8 — EDP across power states @ 63 ns and 42 ns DRAM |
+//! | `all`    | everything above, in EXPERIMENTS.md-ready form |
+//!
+//! Run lengths scale with the `MOT3D_SCALE` environment variable
+//! (fraction of the default instruction budget; default 0.35 ≈ 560 k
+//! instructions per program — enough to pressure the L2 capacity axis).
+//! Absolute numbers are not expected to match the paper (different
+//! substrate); orderings, winners, and rough factors are (see
+//! `EXPERIMENTS.md`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    fig5, fig6, fig7, fig8, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row, Fig8Result,
+    Table1Row,
+};

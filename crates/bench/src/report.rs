@@ -1,0 +1,211 @@
+//! Table formatting for the experiment binaries.
+
+use crate::experiments::{Fig5Row, Fig6Row, Fig7Row, Table1Row};
+use std::fmt::Write as _;
+
+/// Renders Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table I — derived L2 cache latencies (cycles @ 1 GHz)");
+    let _ = writeln!(out, "{:<16} {:>6} {:>10} {:>8}", "state", "banks", "derived", "paper");
+    for r in rows {
+        let mark = if r.latency_cycles == r.paper_cycles { "=" } else { "!" };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>10} {:>7}{}",
+            r.state, r.banks, r.latency_cycles, r.paper_cycles, mark
+        );
+    }
+    out
+}
+
+/// Renders Fig. 5.
+pub fn render_fig5(rows: &[Fig5Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 5 — wire lengths per power state");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>8} {:>12} {:>15}",
+        "state", "longest(mm)", "z hops", "z span(µm)", "live wire(mm)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>12.2} {:>8} {:>12.1} {:>15.0}",
+            r.state, r.horizontal_mm, r.vertical_hops, r.vertical_um, r.active_wire_mm
+        );
+    }
+    out
+}
+
+/// Renders Fig. 6 (a) and (b).
+pub fn render_fig6(rows: &[Fig6Row]) -> String {
+    let names = ["3-D Mesh", "Bus-Mesh", "Bus-Tree", "3-D MoT"];
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 6(a) — mean L2 access latency (cycles)");
+    let _ = write!(out, "{:<18}", "benchmark");
+    for n in names {
+        let _ = write!(out, "{n:>10}");
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:<18}", r.bench);
+        for v in r.l2_latency {
+            let _ = write!(out, "{v:>10.1}");
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Fig. 6(b) — execution time (kcycles), DRAM 200 ns");
+    let _ = write!(out, "{:<18}", "benchmark");
+    for n in names {
+        let _ = write!(out, "{n:>10}");
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:<18}", r.bench);
+        for v in r.exec_cycles {
+            let _ = write!(out, "{:>10.0}", v as f64 / 1e3);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    let n = rows.len() as f64;
+    for (i, base) in ["True 3-D Mesh", "3-D Hybrid Bus-Mesh", "3-D Hybrid Bus-Tree"]
+        .iter()
+        .enumerate()
+    {
+        let mean: f64 = rows.iter().map(|r| r.mot_reduction_vs(i)).sum::<f64>() / n;
+        let paper = [13.01, 11.16, 13.34][i];
+        let _ = writeln!(
+            out,
+            "MoT mean execution-time reduction vs {base}: {mean:.2}% (paper: {paper}%)"
+        );
+    }
+    out
+}
+
+/// Renders a Fig. 7-style power-state sweep (also used for Fig. 8).
+pub fn render_fig7(rows: &[Fig7Row], dram: &str) -> String {
+    let states = ["Full", "PC16-MB8", "PC4-MB32", "PC4-MB8"];
+    let mut out = String::new();
+    let _ = writeln!(out, "EDP normalised to Full connection, DRAM {dram}");
+    let _ = write!(out, "{:<18}", "benchmark");
+    for s in states {
+        let _ = write!(out, "{s:>10}");
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:<18}", r.bench);
+        for i in 0..4 {
+            let _ = write!(out, "{:>10.3}", r.edp[i] / r.edp[0]);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Execution time normalised to Full connection");
+    let _ = write!(out, "{:<18}", "benchmark");
+    for s in states {
+        let _ = write!(out, "{s:>10}");
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:<18}", r.bench);
+        for i in 0..4 {
+            let _ = write!(
+                out,
+                "{:>10.3}",
+                r.exec_cycles[i] as f64 / r.exec_cycles[0] as f64
+            );
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the paper-claim summary lines for Fig. 7.
+pub fn render_fig7_claims(rows: &[Fig7Row]) -> String {
+    use crate::experiments::{group_max, group_mean};
+    use mot3d_workloads::SplashBenchmark;
+    let limited = SplashBenchmark::limited_scalability();
+    let small = SplashBenchmark::small_l2_demand();
+    let scalable = SplashBenchmark::scalable();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PC4-MB32 EDP reduction on limited-scalability group: mean {:.0}% / max {:.0}%  (paper: 44% / 66%)",
+        group_mean(rows, &limited, |r| r.edp_reduction(2)),
+        group_max(rows, &limited, |r| r.edp_reduction(2)),
+    );
+    let _ = writeln!(
+        out,
+        "PC16-MB8 EDP reduction on small-L2-demand group:     mean {:.0}% / max {:.0}%  (paper: 13% / 18%)",
+        group_mean(rows, &small, |r| r.edp_reduction(1)),
+        group_max(rows, &small, |r| r.edp_reduction(1)),
+    );
+    let _ = writeln!(
+        out,
+        "PC4-MB8 EDP reduction on limited-scalability group:  mean {:.0}% / max {:.0}%  (paper: 52% / 77%)",
+        group_mean(rows, &limited, |r| r.edp_reduction(3)),
+        group_max(rows, &limited, |r| r.edp_reduction(3)),
+    );
+    let _ = writeln!(
+        out,
+        "4→16-core execution-time reduction, limited group:   mean {:.0}% / max {:.0}%  (paper: 19% / 33%)",
+        group_mean(rows, &limited, |r| r.scaling_reduction_4_to_16()),
+        group_max(rows, &limited, |r| r.scaling_reduction_4_to_16()),
+    );
+    let _ = writeln!(
+        out,
+        "4→16-core execution-time reduction, scalable group:  mean {:.0}% / max {:.0}%  (paper: 64% / 69%)",
+        group_mean(rows, &scalable, |r| r.scaling_reduction_4_to_16()),
+        group_max(rows, &scalable, |r| r.scaling_reduction_4_to_16()),
+    );
+    let _ = writeln!(
+        out,
+        "PC16-MB8 execution-time increase, small-demand group: mean {:.1}% (paper: 4.7%, ≤8.6%)",
+        group_mean(rows, &small, |r| r.time_increase(1)),
+    );
+    let large = [
+        SplashBenchmark::Cholesky,
+        SplashBenchmark::Radix,
+        SplashBenchmark::OceanContiguous,
+    ];
+    let _ = writeln!(
+        out,
+        "PC16-MB8 execution-time increase, large-demand group: mean {:.0}% (paper: 24%, ≤31%)",
+        group_mean(rows, &large, |r| r.time_increase(1)),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rendering_marks_matches() {
+        let rows = vec![Table1Row {
+            state: "Full connection".into(),
+            banks: 32,
+            latency_cycles: 12,
+            paper_cycles: 12,
+        }];
+        let s = render_table1(&rows);
+        assert!(s.contains("Full connection"));
+        assert!(s.contains("12="));
+    }
+
+    #[test]
+    fn fig7_rendering_normalises_to_full() {
+        let rows = vec![Fig7Row {
+            bench: "fft".into(),
+            edp: [2.0, 1.0, 1.0, 0.5],
+            exec_cycles: [100, 110, 130, 140],
+        }];
+        let s = render_fig7(&rows, "200 ns");
+        assert!(s.contains("fft"));
+        assert!(s.contains("0.500")); // PC4-MB8 EDP ratio
+        assert!(s.contains("1.400")); // PC4-MB8 time ratio
+    }
+}

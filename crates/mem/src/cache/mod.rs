@@ -1,0 +1,572 @@
+//! Set-associative cache core.
+//!
+//! One generic implementation serves both levels of the paper's hierarchy:
+//! the private L1 I/D caches (4 KB, 32 B lines, 4-way, LRU — Table I) and
+//! each 64 KB, 8-way L2 bank. The cache is generic over a per-line payload
+//! `P`, which the L2 uses to attach MSI directory state.
+//!
+//! Tags store the full line address, so lines folded onto a bank by the
+//! power-gating remap (whose *home* bank index differs in the ignored
+//! bits, Fig. 4) coexist without aliasing — exactly the paper's "cache
+//! data ... will evenly be distributed \[to\] the rest of cache banks" with
+//! no change to the cache architecture.
+//!
+//! Data is modelled as one `u64` token per line (a version stamp written
+//! by stores), which is what the golden-memory oracle checks end to end —
+//! including across the dirty-flush sequence of a runtime power-state
+//! switch.
+
+mod replacement;
+
+pub use replacement::ReplacementPolicy;
+use replacement::SetReplacer;
+
+use crate::addr::LineAddr;
+use std::error::Error;
+use std::fmt;
+
+/// Cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub associativity: usize,
+    /// Replacement policy.
+    pub policy: ReplacementPolicy,
+    /// How many low line-address bits to skip when forming the set index
+    /// (L2 banks skip their bank-index bits; L1 uses 0).
+    pub index_shift: u32,
+}
+
+impl CacheConfig {
+    /// Table I private L1: 4 KB, 32 B lines, 4-way, LRU.
+    pub fn l1_date16() -> Self {
+        CacheConfig {
+            capacity_bytes: 4 * 1024,
+            line_bytes: 32,
+            associativity: 4,
+            policy: ReplacementPolicy::Lru,
+            index_shift: 0,
+        }
+    }
+
+    /// Table I L2 bank: 64 KB, 32 B lines, 8-way; set index skips the five
+    /// bank-interleaving bits.
+    pub fn l2_bank_date16() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            line_bytes: 32,
+            associativity: 8,
+            policy: ReplacementPolicy::Lru,
+            index_shift: 5,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] when fields are zero, non-power-of-two
+    /// where required, or inconsistent.
+    pub fn validate(&self) -> Result<(), CacheConfigError> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("line_bytes", self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err(CacheConfigError::Zero("associativity"));
+        }
+        let set_bytes = self.line_bytes * self.associativity;
+        if self.capacity_bytes == 0 || self.capacity_bytes % set_bytes != 0 {
+            return Err(CacheConfigError::CapacityNotDivisible {
+                capacity: self.capacity_bytes,
+                set_bytes,
+            });
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(CacheConfigError::NotPowerOfTwo("sets", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Errors from invalid [`CacheConfig`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A field that must be a power of two is not.
+    NotPowerOfTwo(&'static str, usize),
+    /// A field that must be positive is zero.
+    Zero(&'static str),
+    /// Capacity does not divide into whole sets.
+    CapacityNotDivisible {
+        /// The requested capacity.
+        capacity: usize,
+        /// Bytes per set.
+        set_bytes: usize,
+    },
+}
+
+impl fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheConfigError::NotPowerOfTwo(field, v) => {
+                write!(f, "{field} must be a power of two, got {v}")
+            }
+            CacheConfigError::Zero(field) => write!(f, "{field} must be non-zero"),
+            CacheConfigError::CapacityNotDivisible { capacity, set_bytes } => write!(
+                f,
+                "capacity {capacity} B does not divide into {set_bytes} B sets"
+            ),
+        }
+    }
+}
+
+impl Error for CacheConfigError {}
+
+/// A line evicted, invalidated, or flushed out of the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine<P> {
+    /// The line's address.
+    pub addr: LineAddr,
+    /// The line's data token.
+    pub data: u64,
+    /// Whether it was dirty (needs writing to the next level).
+    pub dirty: bool,
+    /// The per-line payload (directory state for L2).
+    pub payload: P,
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses.
+    pub read_misses: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Write misses.
+    pub write_misses: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Dirty lines pushed out (evictions + invalidations + flushes).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Miss ratio over all accesses (0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            return 0.0;
+        }
+        (self.read_misses + self.write_misses) as f64 / acc as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Line<P> {
+    addr: LineAddr,
+    valid: bool,
+    dirty: bool,
+    data: u64,
+    payload: P,
+}
+
+/// A set-associative cache with per-line payloads.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_mem::addr::LineAddr;
+/// use mot3d_mem::cache::{CacheConfig, SetAssocCache};
+///
+/// let mut l1: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l1_date16())?;
+/// assert_eq!(l1.read(LineAddr(7)), None); // cold miss
+/// l1.fill(LineAddr(7), 42, false);
+/// assert_eq!(l1.read(LineAddr(7)), Some(42));
+/// # Ok::<(), mot3d_mem::cache::CacheConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<P> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line<P>>>,
+    replacers: Vec<SetReplacer>,
+    stats: CacheStats,
+}
+
+impl<P: Default + Clone> SetAssocCache<P> {
+    /// Builds an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheConfigError`] if the configuration is invalid.
+    pub fn new(config: CacheConfig) -> Result<Self, CacheConfigError> {
+        config.validate()?;
+        let sets = config.sets();
+        let mk_line = || Line {
+            addr: LineAddr(0),
+            valid: false,
+            dirty: false,
+            data: 0,
+            payload: P::default(),
+        };
+        Ok(SetAssocCache {
+            config,
+            sets: (0..sets)
+                .map(|_| (0..config.associativity).map(|_| mk_line()).collect())
+                .collect(),
+            replacers: (0..sets)
+                .map(|_| SetReplacer::new(config.policy, config.associativity))
+                .collect(),
+            stats: CacheStats::default(),
+        })
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        ((line.0 >> self.config.index_shift) % self.sets.len() as u64) as usize
+    }
+
+    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
+        self.sets[set]
+            .iter()
+            .position(|l| l.valid && l.addr == line)
+    }
+
+    /// Reads a line: on hit, touches LRU state and returns the data token.
+    pub fn read(&mut self, line: LineAddr) -> Option<u64> {
+        let set = self.set_index(line);
+        match self.find_way(set, line) {
+            Some(way) => {
+                self.replacers[set].touch(way);
+                self.stats.read_hits += 1;
+                Some(self.sets[set][way].data)
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Writes a line in place: on hit, stores the token, sets dirty, and
+    /// returns `true`. On miss returns `false` (write-allocate is the
+    /// caller's job via [`SetAssocCache::fill`]).
+    pub fn write(&mut self, line: LineAddr, data: u64) -> bool {
+        let set = self.set_index(line);
+        match self.find_way(set, line) {
+            Some(way) => {
+                self.replacers[set].touch(way);
+                self.stats.write_hits += 1;
+                let l = &mut self.sets[set][way];
+                l.data = data;
+                l.dirty = true;
+                true
+            }
+            None => {
+                self.stats.write_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Inserts a line (after a miss was serviced below), evicting a victim
+    /// if the set is full. Returns the evicted line, if any.
+    ///
+    /// If the line is already present it is overwritten in place (no
+    /// eviction).
+    pub fn fill(&mut self, line: LineAddr, data: u64, dirty: bool) -> Option<EvictedLine<P>> {
+        let set = self.set_index(line);
+        self.stats.fills += 1;
+        if let Some(way) = self.find_way(set, line) {
+            let l = &mut self.sets[set][way];
+            l.data = data;
+            l.dirty = l.dirty || dirty;
+            self.replacers[set].fill(way);
+            return None;
+        }
+        let valid: Vec<bool> = self.sets[set].iter().map(|l| l.valid).collect();
+        let way = self.replacers[set].victim(&valid);
+        let slot = &mut self.sets[set][way];
+        let evicted = slot.valid.then(|| EvictedLine {
+            addr: slot.addr,
+            data: slot.data,
+            dirty: slot.dirty,
+            payload: std::mem::take(&mut slot.payload),
+        });
+        if evicted.as_ref().is_some_and(|e| e.dirty) {
+            self.stats.writebacks += 1;
+        }
+        *slot = Line {
+            addr: line,
+            valid: true,
+            dirty,
+            data,
+            payload: P::default(),
+        };
+        self.replacers[set].fill(way);
+        evicted
+    }
+
+    /// Looks at a line without touching replacement state or counters.
+    pub fn peek(&self, line: LineAddr) -> Option<(u64, bool)> {
+        let set = self.set_index(line);
+        self.find_way(set, line)
+            .map(|way| (self.sets[set][way].data, self.sets[set][way].dirty))
+    }
+
+    /// Mutable access to a resident line's payload (directory state).
+    pub fn payload_mut(&mut self, line: LineAddr) -> Option<&mut P> {
+        let set = self.set_index(line);
+        let way = self.find_way(set, line)?;
+        Some(&mut self.sets[set][way].payload)
+    }
+
+    /// Shared access to a resident line's payload.
+    pub fn payload(&self, line: LineAddr) -> Option<&P> {
+        let set = self.set_index(line);
+        let way = self.find_way(set, line)?;
+        Some(&self.sets[set][way].payload)
+    }
+
+    /// Removes a line if present, returning it (dirty lines must be
+    /// written back by the caller).
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine<P>> {
+        let set = self.set_index(line);
+        let way = self.find_way(set, line)?;
+        let slot = &mut self.sets[set][way];
+        slot.valid = false;
+        if slot.dirty {
+            self.stats.writebacks += 1;
+        }
+        Some(EvictedLine {
+            addr: slot.addr,
+            data: slot.data,
+            dirty: std::mem::take(&mut slot.dirty),
+            payload: std::mem::take(&mut slot.payload),
+        })
+    }
+
+    /// Empties the whole cache, returning every resident line. This is the
+    /// paper's bank power-off sequence: "dirty cache blocks in the
+    /// power-off banks must be written back ... for data coherency".
+    pub fn flush_invalidate_all(&mut self) -> Vec<EvictedLine<P>> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if slot.valid {
+                    if slot.dirty {
+                        self.stats.writebacks += 1;
+                    }
+                    out.push(EvictedLine {
+                        addr: slot.addr,
+                        data: slot.data,
+                        dirty: slot.dirty,
+                        payload: std::mem::take(&mut slot.payload),
+                    });
+                    slot.valid = false;
+                    slot.dirty = false;
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|l| l.valid).count())
+            .sum()
+    }
+
+    /// Iterates over resident line addresses.
+    pub fn resident_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter().filter(|l| l.valid).map(|l| l.addr))
+    }
+}
+
+// `P: Default` is required by `std::mem::take`; payloads are plain data.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> SetAssocCache<()> {
+        SetAssocCache::new(CacheConfig::l1_date16()).unwrap()
+    }
+
+    #[test]
+    fn table1_geometries() {
+        assert_eq!(CacheConfig::l1_date16().sets(), 32);
+        assert_eq!(CacheConfig::l2_bank_date16().sets(), 256);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = l1();
+        assert_eq!(c.read(LineAddr(100)), None);
+        c.fill(LineAddr(100), 5, false);
+        assert_eq!(c.read(LineAddr(100)), Some(5));
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = l1();
+        c.fill(LineAddr(3), 1, false);
+        assert!(c.write(LineAddr(3), 9));
+        assert_eq!(c.peek(LineAddr(3)), Some((9, true)));
+    }
+
+    #[test]
+    fn write_miss_does_not_allocate() {
+        let mut c = l1();
+        assert!(!c.write(LineAddr(3), 9));
+        assert_eq!(c.peek(LineAddr(3)), None);
+        assert_eq!(c.stats().write_misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_is_lru() {
+        let mut c = l1();
+        let sets = c.config().sets() as u64;
+        // 5 lines in the same set of a 4-way cache: the first fill is
+        // evicted.
+        let lines: Vec<LineAddr> = (0..5).map(|i| LineAddr(7 + i * sets)).collect();
+        for (i, &line) in lines.iter().take(4).enumerate() {
+            c.fill(line, i as u64, false);
+        }
+        let evicted = c.fill(lines[4], 99, false).expect("set overflow evicts");
+        assert_eq!(evicted.addr, lines[0]);
+        assert!(!evicted.dirty);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = l1();
+        let sets = c.config().sets() as u64;
+        let lines: Vec<LineAddr> = (0..5).map(|i| LineAddr(2 + i * sets)).collect();
+        c.fill(lines[0], 0, false);
+        c.write(lines[0], 42);
+        for (i, &line) in lines.iter().enumerate().skip(1).take(3) {
+            c.fill(line, i as u64, false);
+        }
+        let evicted = c.fill(lines[4], 99, false).unwrap();
+        assert_eq!(evicted.addr, lines[0]);
+        assert!(evicted.dirty);
+        assert_eq!(evicted.data, 42);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn touch_on_read_protects_from_eviction() {
+        let mut c = l1();
+        let sets = c.config().sets() as u64;
+        let lines: Vec<LineAddr> = (0..5).map(|i| LineAddr(1 + i * sets)).collect();
+        for &line in lines.iter().take(4) {
+            c.fill(line, 0, false);
+        }
+        c.read(lines[0]); // most recently used now
+        let evicted = c.fill(lines[4], 0, false).unwrap();
+        assert_eq!(evicted.addr, lines[1]);
+    }
+
+    #[test]
+    fn refill_existing_line_updates_in_place() {
+        let mut c = l1();
+        c.fill(LineAddr(8), 1, false);
+        assert!(c.fill(LineAddr(8), 2, true).is_none());
+        assert_eq!(c.peek(LineAddr(8)), Some((2, true)));
+    }
+
+    #[test]
+    fn invalidate_returns_line_once() {
+        let mut c = l1();
+        c.fill(LineAddr(5), 3, false);
+        c.write(LineAddr(5), 4);
+        let inv = c.invalidate(LineAddr(5)).unwrap();
+        assert!(inv.dirty);
+        assert_eq!(inv.data, 4);
+        assert!(c.invalidate(LineAddr(5)).is_none());
+        assert_eq!(c.read(LineAddr(5)), None);
+    }
+
+    #[test]
+    fn flush_empties_and_reports_dirty() {
+        let mut c = l1();
+        c.fill(LineAddr(1), 10, false);
+        c.fill(LineAddr(2), 20, false);
+        c.write(LineAddr(2), 21);
+        let flushed = c.flush_invalidate_all();
+        assert_eq!(flushed.len(), 2);
+        let dirty: Vec<_> = flushed.iter().filter(|e| e.dirty).collect();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].addr, LineAddr(2));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn index_shift_separates_l2_sets() {
+        // Two lines differing only in bank bits map to the same set of an
+        // L2 bank (they'd live in different banks normally; under the
+        // power-gating fold they coexist via distinct full tags).
+        let mut c: SetAssocCache<()> =
+            SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
+        let a = LineAddr(0b00000); // home bank 0
+        let b = LineAddr(0b00010); // home bank 2
+        c.fill(a, 1, false);
+        c.fill(b, 2, false);
+        assert_eq!(c.read(a), Some(1));
+        assert_eq!(c.read(b), Some(2));
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let mut bad = CacheConfig::l1_date16();
+        bad.capacity_bytes = 5000;
+        assert!(SetAssocCache::<()>::new(bad).is_err());
+        let mut bad2 = CacheConfig::l1_date16();
+        bad2.line_bytes = 24;
+        assert!(matches!(
+            SetAssocCache::<()>::new(bad2),
+            Err(CacheConfigError::NotPowerOfTwo("line_bytes", 24))
+        ));
+    }
+
+    #[test]
+    fn miss_ratio_counts_reads_and_writes() {
+        let mut c = l1();
+        c.read(LineAddr(1)); // miss
+        c.fill(LineAddr(1), 0, false);
+        c.read(LineAddr(1)); // hit
+        c.write(LineAddr(1), 1); // hit
+        c.write(LineAddr(2), 1); // miss
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

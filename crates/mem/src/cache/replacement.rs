@@ -1,0 +1,199 @@
+//! Replacement policies for set-associative caches.
+//!
+//! Table I specifies LRU for the private L1s; the L2 banks use LRU too
+//! (8-way). Tree-PLRU and FIFO are provided for ablation studies of the
+//! replacement choice (see the `replacement` bench in `mot3d-bench`).
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used via access timestamps (Table I).
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU: one decision bit per binary-tree node.
+    TreePlru,
+    /// First-in first-out by fill time.
+    Fifo,
+}
+
+/// Per-set replacement state, sized for the set's associativity.
+#[derive(Debug, Clone)]
+pub(crate) enum SetReplacer {
+    Lru { stamps: Vec<u64>, clock: u64 },
+    TreePlru { bits: Vec<bool>, ways: usize },
+    Fifo { filled: Vec<u64>, clock: u64 },
+}
+
+impl SetReplacer {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => SetReplacer::Lru {
+                stamps: vec![0; ways],
+                clock: 0,
+            },
+            ReplacementPolicy::TreePlru => SetReplacer::TreePlru {
+                // A complete binary tree over `ways` leaves has `ways - 1`
+                // internal nodes (ways is a power of two for PLRU).
+                bits: vec![false; ways.saturating_sub(1)],
+                ways,
+            },
+            ReplacementPolicy::Fifo => SetReplacer::Fifo {
+                filled: vec![0; ways],
+                clock: 0,
+            },
+        }
+    }
+
+    /// Records a hit/use of `way`.
+    pub(crate) fn touch(&mut self, way: usize) {
+        match self {
+            SetReplacer::Lru { stamps, clock } => {
+                *clock += 1;
+                stamps[way] = *clock;
+            }
+            SetReplacer::TreePlru { bits, ways } => {
+                // Walk from the root to the leaf, pointing every node away
+                // from the path just used.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = *ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = way >= mid;
+                    bits[node] = !go_right; // next victim search goes the other way
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            SetReplacer::Fifo { .. } => {} // FIFO ignores hits
+        }
+    }
+
+    /// Records that `way` was (re)filled.
+    pub(crate) fn fill(&mut self, way: usize) {
+        match self {
+            SetReplacer::Fifo { filled, clock } => {
+                *clock += 1;
+                filled[way] = *clock;
+            }
+            _ => self.touch(way),
+        }
+    }
+
+    /// Chooses the victim way among `valid` ways (invalid ways win
+    /// immediately).
+    pub(crate) fn victim(&self, valid: &[bool]) -> usize {
+        if let Some(free) = valid.iter().position(|v| !v) {
+            return free;
+        }
+        match self {
+            SetReplacer::Lru { stamps, .. } => index_of_min(stamps),
+            SetReplacer::Fifo { filled, .. } => index_of_min(filled),
+            SetReplacer::TreePlru { bits, ways } => {
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = *ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_right = bits[node];
+                    node = 2 * node + if go_right { 2 } else { 1 };
+                    if go_right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            }
+        }
+    }
+}
+
+fn index_of_min(values: &[u64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, v)| **v)
+        .map(|(i, _)| i)
+        .expect("sets have at least one way")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut r = SetReplacer::new(ReplacementPolicy::Lru, 4);
+        for way in 0..4 {
+            r.fill(way);
+        }
+        r.touch(0); // order now: 1 oldest, then 2, 3, 0
+        assert_eq!(r.victim(&[true; 4]), 1);
+        r.touch(1);
+        assert_eq!(r.victim(&[true; 4]), 2);
+    }
+
+    #[test]
+    fn invalid_way_wins_over_policy() {
+        let mut r = SetReplacer::new(ReplacementPolicy::Lru, 4);
+        for way in 0..4 {
+            r.fill(way);
+        }
+        assert_eq!(r.victim(&[true, true, false, true]), 2);
+    }
+
+    #[test]
+    fn fifo_ignores_touches() {
+        let mut r = SetReplacer::new(ReplacementPolicy::Fifo, 2);
+        r.fill(0);
+        r.fill(1);
+        r.touch(0); // should not save way 0
+        assert_eq!(r.victim(&[true, true]), 0);
+    }
+
+    #[test]
+    fn plru_victim_avoids_recent_path() {
+        let mut r = SetReplacer::new(ReplacementPolicy::TreePlru, 4);
+        for way in 0..4 {
+            r.fill(way);
+        }
+        r.touch(3);
+        let v = r.victim(&[true; 4]);
+        assert_ne!(v, 3, "just-touched way must not be the victim");
+    }
+
+    #[test]
+    fn plru_single_way_degenerates() {
+        let r = SetReplacer::new(ReplacementPolicy::TreePlru, 1);
+        assert_eq!(r.victim(&[true]), 0);
+    }
+
+    #[test]
+    fn all_policies_cover_all_ways_eventually() {
+        // Filling W distinct new lines into a W-way set must evict every
+        // way exactly once under any policy.
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::TreePlru,
+            ReplacementPolicy::Fifo,
+        ] {
+            let ways = 4;
+            let mut r = SetReplacer::new(policy, ways);
+            let mut valid = vec![false; ways];
+            let mut seen = vec![false; ways];
+            for _ in 0..ways {
+                let v = r.victim(&valid);
+                assert!(!seen[v], "{policy:?} repeated victim {v}");
+                seen[v] = true;
+                valid[v] = true;
+                r.fill(v);
+            }
+            assert!(seen.iter().all(|s| *s));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Interconnect energy model (Liao–He-style, paper ref \[20\]).
+//!
+//! Dynamic energy per transaction = bits moved × (wire switching energy
+//! over the average path + switch-cell traversal energy per level + TSV
+//! bus energy), at 0.5 toggle activity. Leakage = powered routing
+//! switches + arbitration cells + wire repeaters, from the configuration's
+//! component counts — this is precisely the portion the paper's
+//! reconfigurable switch design can power-gate.
+
+use crate::latency::MotTimingParams;
+use crate::reconfig::MotConfiguration;
+use crate::traits::ReqKind;
+use crate::MotError;
+use mot3d_phys::geometry::Floorplan;
+use mot3d_phys::rc::{optimal_segment_length, RepeatedWire};
+use mot3d_phys::units::{Joules, Watts};
+use mot3d_phys::Technology;
+
+/// Control bits of a request (address + command + tag).
+pub const REQUEST_CTRL_BITS: usize = 48;
+/// Data bits of one 32 B cache line.
+pub const LINE_DATA_BITS: usize = 256;
+/// Control bits of a response header / write ack.
+pub const RESPONSE_CTRL_BITS: usize = 16;
+/// Toggle probability per bit per transfer.
+const ACTIVITY: f64 = 0.5;
+/// Average path length as a fraction of the longest (uniform traffic over
+/// a centered region; documented approximation).
+const AVG_PATH_FRACTION: f64 = 0.6;
+
+/// Per-transaction energies and standing leakage of one configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_mot::energy::MotEnergyModel;
+/// use mot3d_mot::power_state::PowerState;
+/// use mot3d_mot::reconfig::MotConfiguration;
+/// use mot3d_mot::topology::MotTopology;
+/// use mot3d_phys::{geometry::Floorplan, Technology};
+///
+/// let cfg = MotConfiguration::new(MotTopology::date16(), PowerState::full())?;
+/// let model = MotEnergyModel::derive(
+///     &Technology::lp45(), &Floorplan::date16(), &cfg, &Default::default())?;
+/// assert!(model.leakage().mw() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotEnergyModel {
+    read_request: Joules,
+    write_request: Joules,
+    read_response: Joules,
+    write_response: Joules,
+    leakage: Watts,
+}
+
+impl MotEnergyModel {
+    /// Evaluates the model for one configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MotError`] if the floorplan rejects the active counts.
+    pub fn derive(
+        tech: &Technology,
+        floorplan: &Floorplan,
+        cfg: &MotConfiguration,
+        params: &MotTimingParams,
+    ) -> Result<Self, MotError> {
+        let state = cfg.state();
+        let path = floorplan.longest_path(state.active_cores(), state.active_banks())?;
+        let avg_wire = RepeatedWire::new(tech, path.horizontal * AVG_PATH_FRACTION);
+
+        let levels_request =
+            cfg.topology().routing_levels() + state.active_cores().trailing_zeros();
+        let levels_response = cfg.topology().routing_levels();
+        let switch_bit = tech
+            .switch
+            .switch_traversal_energy_per_bit
+            .switching_energy(tech.vdd);
+        let tsv_bit = floorplan.tsv.hop_energy(tech, path.vertical_hops);
+        let _ = params; // driver strength does not change CV² energy
+
+        let per_bit_req =
+            avg_wire.energy_per_transition() + switch_bit * levels_request as f64 + tsv_bit;
+        let per_bit_resp =
+            avg_wire.energy_per_transition() + switch_bit * levels_response as f64 + tsv_bit;
+
+        let bits = |n: usize| n as f64 * ACTIVITY;
+        let read_request = per_bit_req * bits(REQUEST_CTRL_BITS);
+        let write_request = per_bit_req * bits(REQUEST_CTRL_BITS + LINE_DATA_BITS);
+        let read_response = per_bit_resp * bits(RESPONSE_CTRL_BITS + LINE_DATA_BITS);
+        let write_response = per_bit_resp * bits(RESPONSE_CTRL_BITS);
+
+        // Leakage of the powered portion.
+        let counts = cfg.counts();
+        let wire_total = floorplan.active_wire_estimate(state.active_cores(), state.active_banks())?;
+        let repeaters = (wire_total.value() / optimal_segment_length(tech).value()).ceil();
+        let leakage = tech.switch.routing_switch_leakage * counts.routing_switches as f64
+            + tech.switch.arbitration_switch_leakage * counts.arbitration_cells as f64
+            + tech.repeater.leakage * repeaters;
+
+        Ok(MotEnergyModel {
+            read_request,
+            write_request,
+            read_response,
+            write_response,
+            leakage,
+        })
+    }
+
+    /// Energy of one request traversal.
+    pub fn request_energy(&self, kind: ReqKind) -> Joules {
+        match kind {
+            ReqKind::ReadLine => self.read_request,
+            ReqKind::WriteLine => self.write_request,
+        }
+    }
+
+    /// Energy of one response traversal.
+    pub fn response_energy(&self, kind: ReqKind) -> Joules {
+        match kind {
+            ReqKind::ReadLine => self.read_response,
+            ReqKind::WriteLine => self.write_response,
+        }
+    }
+
+    /// Standing leakage of the powered interconnect portion.
+    pub fn leakage(&self) -> Watts {
+        self.leakage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_state::PowerState;
+    use crate::topology::MotTopology;
+
+    fn model(state: PowerState) -> MotEnergyModel {
+        let cfg = MotConfiguration::new(MotTopology::date16(), state).unwrap();
+        MotEnergyModel::derive(
+            &Technology::lp45(),
+            &Floorplan::date16(),
+            &cfg,
+            &MotTimingParams::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn data_carrying_legs_cost_more() {
+        let m = model(PowerState::full());
+        assert!(m.request_energy(ReqKind::WriteLine) > m.request_energy(ReqKind::ReadLine));
+        assert!(m.response_energy(ReqKind::ReadLine) > m.response_energy(ReqKind::WriteLine));
+    }
+
+    #[test]
+    fn gating_cuts_leakage_substantially() {
+        let full = model(PowerState::full());
+        let gated = model(PowerState::pc4_mb8());
+        let ratio = gated.leakage() / full.leakage();
+        assert!(
+            ratio < 0.45,
+            "PC4-MB8 interconnect leakage should drop well below half: {ratio}"
+        );
+    }
+
+    #[test]
+    fn gating_cuts_per_transaction_energy() {
+        // Shorter wires in the folded states make each transaction cheaper.
+        let full = model(PowerState::full());
+        let gated = model(PowerState::pc4_mb8());
+        assert!(
+            gated.request_energy(ReqKind::ReadLine) < full.request_energy(ReqKind::ReadLine)
+        );
+        assert!(
+            gated.response_energy(ReqKind::ReadLine) < full.response_energy(ReqKind::ReadLine)
+        );
+    }
+
+    #[test]
+    fn transaction_energies_in_plausible_pj_band() {
+        let m = model(PowerState::full());
+        let read_rt = m.request_energy(ReqKind::ReadLine) + m.response_energy(ReqKind::ReadLine);
+        // A full line round trip over a few mm: tens to a few hundred pJ.
+        assert!(
+            read_rt.pj() > 5.0 && read_rt.pj() < 1000.0,
+            "read round trip {} pJ",
+            read_rt.pj()
+        );
+    }
+
+    #[test]
+    fn full_leakage_in_plausible_mw_band() {
+        let m = model(PowerState::full());
+        assert!(
+            m.leakage().mw() > 0.1 && m.leakage().mw() < 20.0,
+            "leakage {} mW",
+            m.leakage().mw()
+        );
+    }
+}

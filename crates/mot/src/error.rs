@@ -1,0 +1,90 @@
+//! Crate-level error type.
+
+use crate::power_state::PowerStateError;
+use crate::reconfig::ReconfigError;
+use crate::topology::TopologyError;
+use mot3d_phys::geometry::FloorplanError;
+use mot3d_phys::sram::SramConfigError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error a `mot3d-mot` operation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MotError {
+    /// Invalid power state.
+    PowerState(PowerStateError),
+    /// Invalid topology.
+    Topology(TopologyError),
+    /// Invalid reconfiguration request.
+    Reconfig(ReconfigError),
+    /// Floorplan query failed.
+    Floorplan(FloorplanError),
+    /// SRAM model rejected the bank configuration.
+    Sram(SramConfigError),
+}
+
+impl fmt::Display for MotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotError::PowerState(e) => write!(f, "power state: {e}"),
+            MotError::Topology(e) => write!(f, "topology: {e}"),
+            MotError::Reconfig(e) => write!(f, "reconfiguration: {e}"),
+            MotError::Floorplan(e) => write!(f, "floorplan: {e}"),
+            MotError::Sram(e) => write!(f, "sram model: {e}"),
+        }
+    }
+}
+
+impl Error for MotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MotError::PowerState(e) => Some(e),
+            MotError::Topology(e) => Some(e),
+            MotError::Reconfig(e) => Some(e),
+            MotError::Floorplan(e) => Some(e),
+            MotError::Sram(e) => Some(e),
+        }
+    }
+}
+
+impl From<PowerStateError> for MotError {
+    fn from(e: PowerStateError) -> Self {
+        MotError::PowerState(e)
+    }
+}
+
+impl From<TopologyError> for MotError {
+    fn from(e: TopologyError) -> Self {
+        MotError::Topology(e)
+    }
+}
+
+impl From<ReconfigError> for MotError {
+    fn from(e: ReconfigError) -> Self {
+        MotError::Reconfig(e)
+    }
+}
+
+impl From<FloorplanError> for MotError {
+    fn from(e: FloorplanError) -> Self {
+        MotError::Floorplan(e)
+    }
+}
+
+impl From<SramConfigError> for MotError {
+    fn from(e: SramConfigError) -> Self {
+        MotError::Sram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_the_source() {
+        let e: MotError = PowerStateError::NotPowerOfTwo("cores", 3).into();
+        assert!(e.to_string().starts_with("power state:"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,294 @@
+//! Mesh-of-Tree topology (Fig. 2(a)).
+//!
+//! A MoT interconnect for `P` cores and `B` banks (both powers of two) is
+//! two families of binary trees:
+//!
+//! * one **routing tree** per core, depth `log2(B)`: level 1 consumes the
+//!   bank-index MSB, level `log2(B)` the LSB. Each tree has `B − 1`
+//!   routing switches.
+//! * one **arbitration tree** per bank, depth `log2(P)`, merging the `P`
+//!   request lines into the bank with `P − 1` round-robin cells.
+//!
+//! A core→bank transaction traverses `log2(B)` routing switches, then
+//! `log2(P)` arbitration levels, then the bank's TSV bus (Fig. 1).
+//!
+//! Switches are addressed as `(level, index)`: level `ℓ ∈ 1..=log2(B)` has
+//! `2^(ℓ−1)` switches, and the switch met en route to bank `b` at level
+//! `ℓ` is the one indexed by `b`'s top `ℓ − 1` bits.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::switch::Port;
+
+/// Errors from invalid topology parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Core/bank counts must be non-zero powers of two.
+    NotPowerOfTwo(&'static str, usize),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NotPowerOfTwo(what, n) => {
+                write!(f, "{what} must be a non-zero power of two, got {n}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// Identifies one routing switch inside one core's routing tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwitchAddr {
+    /// Tree level, `1 ..= log2(banks)`.
+    pub level: u32,
+    /// Switch index within the level, `0 .. 2^(level-1)`.
+    pub index: usize,
+}
+
+/// The MoT structure for a given cluster size.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_mot::topology::MotTopology;
+///
+/// // The paper's Fig. 2(a) example: 4 cores × 8 banks.
+/// let mot = MotTopology::new(4, 8)?;
+/// assert_eq!(mot.routing_levels(), 3);
+/// assert_eq!(mot.routing_switches_per_tree(), 7);
+/// assert_eq!(mot.arbitration_cells_per_tree(), 3);
+/// # Ok::<(), mot3d_mot::topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotTopology {
+    cores: usize,
+    banks: usize,
+}
+
+impl MotTopology {
+    /// Builds the topology, validating both counts.
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NotPowerOfTwo`] if a count is 0 or not a power of
+    /// two.
+    pub fn new(cores: usize, banks: usize) -> Result<Self, TopologyError> {
+        if cores == 0 || !cores.is_power_of_two() {
+            return Err(TopologyError::NotPowerOfTwo("cores", cores));
+        }
+        if banks == 0 || !banks.is_power_of_two() {
+            return Err(TopologyError::NotPowerOfTwo("banks", banks));
+        }
+        Ok(MotTopology { cores, banks })
+    }
+
+    /// The paper's cluster: 16 cores × 32 banks.
+    pub fn date16() -> Self {
+        MotTopology {
+            cores: 16,
+            banks: 32,
+        }
+    }
+
+    /// Number of cores (routing trees).
+    #[inline]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of banks (arbitration trees).
+    #[inline]
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Routing-tree depth `log2(banks)`.
+    #[inline]
+    pub fn routing_levels(&self) -> u32 {
+        self.banks.trailing_zeros()
+    }
+
+    /// Arbitration-tree depth `log2(cores)`.
+    #[inline]
+    pub fn arbitration_levels(&self) -> u32 {
+        self.cores.trailing_zeros()
+    }
+
+    /// Routing switches in one core's tree (`banks − 1`).
+    #[inline]
+    pub fn routing_switches_per_tree(&self) -> usize {
+        self.banks - 1
+    }
+
+    /// Arbitration cells in one bank's tree (`cores − 1`).
+    #[inline]
+    pub fn arbitration_cells_per_tree(&self) -> usize {
+        self.cores - 1
+    }
+
+    /// Total routing switches across all trees.
+    pub fn total_routing_switches(&self) -> usize {
+        self.cores * self.routing_switches_per_tree()
+    }
+
+    /// Total arbitration cells across all trees.
+    pub fn total_arbitration_cells(&self) -> usize {
+        self.banks * self.arbitration_cells_per_tree()
+    }
+
+    /// The bank-index bit consumed by routing level `ℓ` (level 1 → MSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of `1..=routing_levels()`.
+    pub fn bit_of_level(&self, level: u32) -> u32 {
+        assert!(
+            (1..=self.routing_levels()).contains(&level),
+            "level {level} out of 1..={}",
+            self.routing_levels()
+        );
+        self.routing_levels() - level
+    }
+
+    /// The routing switch met at `level` on the way to `bank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` or `bank` is out of range.
+    pub fn switch_on_path(&self, bank: usize, level: u32) -> SwitchAddr {
+        assert!(bank < self.banks, "bank {bank} out of range");
+        let shift = self.bit_of_level(level) + 1;
+        SwitchAddr {
+            level,
+            index: bank >> shift,
+        }
+    }
+
+    /// The full conventional route to `bank`: the port taken at each level
+    /// 1..=`routing_levels()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn route_to(&self, bank: usize) -> Vec<Port> {
+        assert!(bank < self.banks, "bank {bank} out of range");
+        (1..=self.routing_levels())
+            .map(|l| Port::from_bit((bank >> self.bit_of_level(l)) & 1 == 1))
+            .collect()
+    }
+
+    /// Number of switches in one tree level (`2^(level−1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn switches_in_level(&self, level: u32) -> usize {
+        assert!(
+            (1..=self.routing_levels()).contains(&level),
+            "level {level} out of 1..={}",
+            self.routing_levels()
+        );
+        1 << (level - 1)
+    }
+
+    /// The banks reachable through routing switch `(level, index)` — the
+    /// leaves of its subtree.
+    pub fn banks_under(&self, sw: SwitchAddr) -> std::ops::Range<usize> {
+        let span = self.banks >> (sw.level - 1);
+        (sw.index * span)..((sw.index + 1) * span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date16_dimensions() {
+        let t = MotTopology::date16();
+        assert_eq!(t.routing_levels(), 5);
+        assert_eq!(t.arbitration_levels(), 4);
+        assert_eq!(t.total_routing_switches(), 16 * 31);
+        assert_eq!(t.total_arbitration_cells(), 32 * 15);
+    }
+
+    #[test]
+    fn fig2_example_4x8() {
+        let t = MotTopology::new(4, 8).unwrap();
+        assert_eq!(t.routing_levels(), 3);
+        assert_eq!(t.arbitration_levels(), 2);
+        assert_eq!(t.routing_switches_per_tree(), 7);
+        assert_eq!(t.arbitration_cells_per_tree(), 3);
+    }
+
+    #[test]
+    fn level_bits_are_msb_first() {
+        let t = MotTopology::new(4, 8).unwrap(); // 3 levels, bits 2,1,0
+        assert_eq!(t.bit_of_level(1), 2);
+        assert_eq!(t.bit_of_level(2), 1);
+        assert_eq!(t.bit_of_level(3), 0);
+    }
+
+    #[test]
+    fn route_to_bank_reads_bits_msb_first() {
+        let t = MotTopology::new(4, 8).unwrap();
+        use crate::switch::Port::{Port0, Port1};
+        assert_eq!(t.route_to(0b000), vec![Port0, Port0, Port0]);
+        assert_eq!(t.route_to(0b101), vec![Port1, Port0, Port1]);
+        assert_eq!(t.route_to(0b111), vec![Port1, Port1, Port1]);
+    }
+
+    #[test]
+    fn switch_on_path_indexes_by_prefix() {
+        let t = MotTopology::new(4, 8).unwrap();
+        // Level 1: single root switch for every bank.
+        for b in 0..8 {
+            assert_eq!(t.switch_on_path(b, 1), SwitchAddr { level: 1, index: 0 });
+        }
+        // Level 2: split by MSB.
+        assert_eq!(t.switch_on_path(0b011, 2).index, 0);
+        assert_eq!(t.switch_on_path(0b100, 2).index, 1);
+        // Level 3: split by top two bits.
+        assert_eq!(t.switch_on_path(0b101, 3).index, 0b10);
+    }
+
+    #[test]
+    fn banks_under_covers_subtree() {
+        let t = MotTopology::new(4, 8).unwrap();
+        assert_eq!(t.banks_under(SwitchAddr { level: 1, index: 0 }), 0..8);
+        assert_eq!(t.banks_under(SwitchAddr { level: 2, index: 1 }), 4..8);
+        assert_eq!(t.banks_under(SwitchAddr { level: 3, index: 2 }), 4..6);
+    }
+
+    #[test]
+    fn every_bank_has_unique_route() {
+        let t = MotTopology::date16();
+        let mut routes: Vec<Vec<crate::switch::Port>> =
+            (0..32).map(|b| t.route_to(b)).collect();
+        routes.sort_by_key(|r| r.iter().map(|p| p.bit() as u8).collect::<Vec<_>>());
+        routes.dedup();
+        assert_eq!(routes.len(), 32, "routes must be distinct per bank");
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(matches!(
+            MotTopology::new(3, 8),
+            Err(TopologyError::NotPowerOfTwo("cores", 3))
+        ));
+        assert!(matches!(
+            MotTopology::new(4, 0),
+            Err(TopologyError::NotPowerOfTwo("banks", 0))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn route_to_bad_bank_panics() {
+        MotTopology::date16().route_to(99);
+    }
+}

@@ -1,0 +1,155 @@
+//! The transaction-level interconnect abstraction shared by the 3-D MoT
+//! and the packet-switched baselines.
+//!
+//! The cluster simulator drives every interconnect through the same
+//! cycle-stepped contract: inject memory requests at cores, tick, collect
+//! requests as they arrive at banks, inject responses at banks, collect
+//! deliveries at cores. Contention (MoT per-bank arbitration, NoC router
+//! queueing, bus TDMA) is each implementation's business; the simulator
+//! only sees when things arrive.
+
+use mot3d_phys::units::{Joules, Watts};
+
+/// What a memory transaction does at the L2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqKind {
+    /// Fetch a line (L1 refill).
+    ReadLine,
+    /// Write a line back (L1 eviction / flush).
+    WriteLine,
+}
+
+/// A core→bank request travelling the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Issuing core.
+    pub core: usize,
+    /// *Home* bank index from the address interleaving (the interconnect
+    /// may remap it under power gating).
+    pub home_bank: usize,
+    /// Transaction kind.
+    pub kind: ReqKind,
+    /// Caller tag to match completions.
+    pub tag: u64,
+}
+
+/// A request that reached a physical bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankArrival {
+    /// The original request.
+    pub request: MemRequest,
+    /// The physical bank it arrived at (equals `request.home_bank` unless
+    /// a power-gating remap redirected it).
+    pub bank: usize,
+    /// Arrival cycle.
+    pub at_cycle: u64,
+}
+
+/// A bank→core response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemResponse {
+    /// Destination core.
+    pub core: usize,
+    /// Responding physical bank.
+    pub bank: usize,
+    /// Kind of the original request.
+    pub kind: ReqKind,
+    /// The original request's tag.
+    pub tag: u64,
+}
+
+/// A response delivered back at a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreDelivery {
+    /// The response.
+    pub response: MemResponse,
+    /// Delivery cycle.
+    pub at_cycle: u64,
+}
+
+/// Aggregate interconnect statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterconnectStats {
+    /// Requests injected.
+    pub requests: u64,
+    /// Responses delivered.
+    pub responses: u64,
+    /// Sum of request transit latencies (cycles, injection → bank
+    /// arrival, including contention).
+    pub total_request_latency: u64,
+    /// Worst single request transit.
+    pub max_request_latency: u64,
+}
+
+impl InterconnectStats {
+    /// Mean request transit latency in cycles.
+    pub fn mean_request_latency(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_request_latency as f64 / self.requests as f64
+        }
+    }
+}
+
+/// A cycle-stepped interconnect between cores and L2 banks.
+///
+/// Implementations: [`crate::network::MotNetwork`] (this paper) and the
+/// three packet-switched baselines in `mot3d-noc`.
+pub trait Interconnect {
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &str;
+
+    /// Advances internal state to cycle `now`. Must be called with
+    /// monotonically non-decreasing `now`, once per simulated cycle.
+    fn tick(&mut self, now: u64);
+
+    /// Injects a request at its core. Queuing is unbounded; cores
+    /// self-limit (one outstanding blocking miss each).
+    fn inject_request(&mut self, now: u64, request: MemRequest);
+
+    /// Pops one request that has arrived at a bank (after [`Self::tick`]).
+    fn pop_arrival(&mut self) -> Option<BankArrival>;
+
+    /// Injects a response at its bank.
+    fn inject_response(&mut self, now: u64, response: MemResponse);
+
+    /// Pops one response delivered back at a core.
+    fn pop_delivery(&mut self) -> Option<CoreDelivery>;
+
+    /// Uncontended one-way transit in cycles (used by the simulator to
+    /// charge coherence control messages without modelling their full
+    /// transport).
+    fn oneway_latency_hint(&self) -> u64;
+
+    /// Dynamic energy consumed so far.
+    fn dynamic_energy(&self) -> Joules;
+
+    /// Leakage power of the powered portion of the interconnect.
+    fn leakage_power(&self) -> Watts;
+
+    /// Traffic statistics so far.
+    fn stats(&self) -> InterconnectStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mean_handles_empty() {
+        let s = InterconnectStats::default();
+        assert_eq!(s.mean_request_latency(), 0.0);
+    }
+
+    #[test]
+    fn stats_mean_is_total_over_count() {
+        let s = InterconnectStats {
+            requests: 4,
+            responses: 4,
+            total_request_latency: 40,
+            max_request_latency: 15,
+        };
+        assert_eq!(s.mean_request_latency(), 10.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Timing and energy parameters of the packet-switched baselines.
+//!
+//! Derived from the same `mot3d-phys` models as the MoT so the comparison
+//! is apples-to-apples: link energy from the repeated-wire model over the
+//! actual link length, TSV bus energy from the TSV model, router costs
+//! from per-flit switched capacitance.
+
+use crate::topo::{NocTopologyKind, GRID};
+use mot3d_phys::geometry::Floorplan;
+use mot3d_phys::rc::RepeatedWire;
+use mot3d_phys::units::{Farads, Joules, Watts};
+use mot3d_phys::Technology;
+
+use crate::packet::FLIT_BITS;
+
+/// Switched capacitance per bit through one router (buffers + crossbar +
+/// allocation).
+const ROUTER_CAP_PER_BIT: Farads = Farads::from_ff(15.0);
+/// Leakage of one wormhole router (buffers dominate).
+const ROUTER_LEAKAGE: Watts = Watts::from_uw(25.0);
+/// Leakage of one vertical dTDMA bus (drivers + arbitration).
+const BUS_LEAKAGE: Watts = Watts::from_uw(4.0);
+/// Toggle probability per bit.
+const ACTIVITY: f64 = 0.5;
+
+/// All timing/energy constants of one baseline NoC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocParams {
+    /// Router pipeline depth in cycles (route + allocate + traverse).
+    pub router_pipeline: u64,
+    /// Link traversal cycles.
+    pub link_cycles: u64,
+    /// Bus arbitration overhead per boarding.
+    pub bus_arb_cycles: u64,
+    /// Bus driver turnaround between back-to-back transfers.
+    pub bus_turnaround_cycles: u64,
+    /// Cycles per flit on the bus. Pillars with few drops run at link
+    /// speed; the Bus-Tree's 8-bank buses carry ~3× the capacitive load
+    /// (9 drops vs 3) and run at half rate — the physical root of the
+    /// paper's "increased vertical bus accesses ... make the performance
+    /// even worse" finding.
+    pub bus_cycles_per_flit: u64,
+    /// Energy of one flit through one router.
+    pub router_energy_per_flit: Joules,
+    /// Energy of one flit over one in-plane link.
+    pub link_energy_per_flit: Joules,
+    /// Energy of one flit over one vertical bus transfer.
+    pub bus_energy_per_flit: Joules,
+    /// Standing leakage of the whole network.
+    pub leakage: Watts,
+}
+
+impl NocParams {
+    /// Derives the parameters for `kind` on the given node/floorplan.
+    pub fn derive(tech: &Technology, floorplan: &Floorplan, kind: NocTopologyKind) -> Self {
+        let topo = crate::topo::Topology::new(kind);
+
+        // Link length: grid pitch for meshes, quadrant pitch for the tree.
+        let link_length = match kind {
+            NocTopologyKind::Mesh3d | NocTopologyKind::HybridBusMesh => {
+                floorplan.die_width / GRID as f64
+            }
+            NocTopologyKind::HybridBusTree => floorplan.die_width / 2.0,
+        };
+        let link_wire = RepeatedWire::new(tech, link_length);
+
+        let per_bit_router = ROUTER_CAP_PER_BIT.switching_energy(tech.vdd);
+        let router_energy_per_flit = per_bit_router * (FLIT_BITS as f64 * ACTIVITY);
+        let link_energy_per_flit =
+            link_wire.energy_per_transition() * (FLIT_BITS as f64 * ACTIVITY);
+        // A bus transfer crosses up to both cache tiers.
+        let bus_energy_per_flit = floorplan.tsv.hop_energy(tech, floorplan.bank_tiers)
+            * (FLIT_BITS as f64 * ACTIVITY);
+
+        // Leakage: routers + buses + link repeaters (one link set per
+        // router, FLIT_BITS wires each — a deliberate simplification that
+        // charges the baselines the same per-wire repeater costs as the
+        // MoT).
+        let repeaters_per_link = link_wire.repeater_count() as f64 * FLIT_BITS as f64;
+        let links = match kind {
+            NocTopologyKind::Mesh3d => 2 * (GRID * (GRID - 1)) * 3 + 2 * GRID * GRID * 2,
+            NocTopologyKind::HybridBusMesh => 2 * (GRID * (GRID - 1)) * 2,
+            NocTopologyKind::HybridBusTree => 2 * 4,
+        } as f64;
+        let leakage = ROUTER_LEAKAGE * topo.routers() as f64
+            + BUS_LEAKAGE * topo.buses() as f64
+            + tech.repeater.leakage * (repeaters_per_link * links);
+
+        NocParams {
+            router_pipeline: 2,
+            link_cycles: 1,
+            bus_arb_cycles: 1,
+            bus_turnaround_cycles: match kind {
+                NocTopologyKind::HybridBusTree => 2,
+                _ => 1,
+            },
+            bus_cycles_per_flit: match kind {
+                // 9 drops (8 banks + router) vs 3: ~3× the capacitive
+                // load, one third the transfer rate.
+                NocTopologyKind::HybridBusTree => 3,
+                _ => 1,
+            },
+            router_energy_per_flit,
+            link_energy_per_flit,
+            bus_energy_per_flit,
+            leakage,
+        }
+    }
+
+    /// Cycles one packet occupies a router output: pipeline + link.
+    pub fn hop_latency(&self) -> u64 {
+        self.router_pipeline + self.link_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(kind: NocTopologyKind) -> NocParams {
+        NocParams::derive(&Technology::lp45(), &Floorplan::date16(), kind)
+    }
+
+    #[test]
+    fn hop_latency_is_pipeline_plus_link() {
+        let p = params(NocTopologyKind::Mesh3d);
+        assert_eq!(p.hop_latency(), 3);
+    }
+
+    #[test]
+    fn tree_links_cost_more_energy_than_mesh_links() {
+        // Tree links span half the die vs a quarter.
+        let tree = params(NocTopologyKind::HybridBusTree);
+        let mesh = params(NocTopologyKind::Mesh3d);
+        assert!(tree.link_energy_per_flit > mesh.link_energy_per_flit);
+    }
+
+    #[test]
+    fn mesh3d_leaks_most_it_has_most_routers() {
+        let m3 = params(NocTopologyKind::Mesh3d);
+        let bm = params(NocTopologyKind::HybridBusMesh);
+        let bt = params(NocTopologyKind::HybridBusTree);
+        assert!(m3.leakage > bm.leakage);
+        assert!(bm.leakage > bt.leakage);
+    }
+
+    #[test]
+    fn energies_in_plausible_pj_bands() {
+        let p = params(NocTopologyKind::Mesh3d);
+        assert!(p.router_energy_per_flit.pj() > 0.05 && p.router_energy_per_flit.pj() < 5.0);
+        assert!(p.link_energy_per_flit.pj() > 0.5 && p.link_energy_per_flit.pj() < 20.0);
+        assert!(p.bus_energy_per_flit.pj() > 0.05 && p.bus_energy_per_flit.pj() < 20.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests for the packet-switched baselines (DESIGN.md §5).
+
+use mot3d_mot::traits::{Interconnect, MemRequest, MemResponse, ReqKind};
+use mot3d_noc::topo::{Hop, Topology, BANKS, CORES};
+use mot3d_noc::{NocNetwork, NocTopologyKind};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn kind_strategy() -> impl Strategy<Value = NocTopologyKind> {
+    prop_oneof![
+        Just(NocTopologyKind::Mesh3d),
+        Just(NocTopologyKind::HybridBusMesh),
+        Just(NocTopologyKind::HybridBusTree),
+    ]
+}
+
+/// Walks a request route to termination, returning the router trail.
+fn walk_request(topo: &Topology, core: usize, bank: usize) -> Vec<usize> {
+    let mut at = topo.core_router(core);
+    let mut trail = vec![at];
+    loop {
+        match topo.route_to_bank(at, bank) {
+            Hop::Router(n) => {
+                at = n;
+                trail.push(n);
+                assert!(trail.len() < 32, "livelock");
+            }
+            Hop::Bus(_) | Hop::Eject => return trail,
+        }
+    }
+}
+
+proptest! {
+    /// Every route terminates, never repeats a router (no loops), and on
+    /// the meshes its length equals the Manhattan/hop distance.
+    #[test]
+    fn routes_are_loop_free_and_minimal(
+        kind in kind_strategy(),
+        core in 0usize..CORES,
+        bank in 0usize..BANKS,
+    ) {
+        let topo = Topology::new(kind);
+        let trail = walk_request(&topo, core, bank);
+        let unique: HashSet<_> = trail.iter().collect();
+        prop_assert_eq!(unique.len(), trail.len(), "router revisited: {:?}", trail);
+        let end = match kind {
+            NocTopologyKind::Mesh3d => topo.bank_router(bank).unwrap(),
+            _ => topo.bus_router(topo.bank_bus(bank).unwrap()),
+        };
+        prop_assert_eq!(*trail.last().unwrap(), end);
+        prop_assert_eq!(
+            trail.len() - 1,
+            topo.hop_distance(topo.core_router(core), end),
+            "non-minimal route"
+        );
+    }
+
+    /// Dimension-order routing is deadlock-free: the channel-dependency
+    /// relation only ever steps X→Y→Z, so the dependency graph over
+    /// directed links is acyclic. We verify the witness directly: along
+    /// any route, the dimension index of successive hops never decreases.
+    #[test]
+    fn dor_dimension_index_is_monotone(
+        core in 0usize..CORES,
+        bank in 0usize..BANKS,
+    ) {
+        let topo = Topology::new(NocTopologyKind::Mesh3d);
+        let trail = walk_request(&topo, core, bank);
+        let mut last_dim = 0u8;
+        for pair in trail.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let (al, ap) = (a / CORES, a % CORES);
+            let (bl, bp) = (b / CORES, b % CORES);
+            let dim = if al != bl {
+                2
+            } else if ap % 4 != bp % 4 {
+                0
+            } else {
+                1
+            };
+            prop_assert!(dim >= last_dim, "dimension went backwards in {:?}", trail);
+            last_dim = dim;
+        }
+    }
+
+    /// End-to-end conservation: every injected request arrives exactly
+    /// once at its addressed bank, and every response comes home.
+    #[test]
+    fn full_round_trip_conservation(
+        kind in kind_strategy(),
+        picks in prop::collection::vec((0usize..CORES, 0usize..BANKS), 1..30),
+    ) {
+        let mut net = NocNetwork::date16(kind);
+        for (i, (c, b)) in picks.iter().enumerate() {
+            net.inject_request(0, MemRequest {
+                core: *c,
+                home_bank: *b,
+                kind: if i % 3 == 0 { ReqKind::WriteLine } else { ReqKind::ReadLine },
+                tag: i as u64,
+            });
+        }
+        let mut arrived = HashSet::new();
+        let mut returned = HashSet::new();
+        for now in 0..20_000u64 {
+            net.tick(now);
+            while let Some(a) = net.pop_arrival() {
+                prop_assert_eq!(a.bank, a.request.home_bank, "wrong bank");
+                prop_assert!(arrived.insert(a.request.tag), "dup arrival");
+                net.inject_response(now, MemResponse {
+                    core: a.request.core,
+                    bank: a.bank,
+                    kind: a.request.kind,
+                    tag: a.request.tag,
+                });
+            }
+            while let Some(d) = net.pop_delivery() {
+                prop_assert!(returned.insert(d.response.tag), "dup delivery");
+            }
+            if returned.len() == picks.len() {
+                break;
+            }
+        }
+        prop_assert_eq!(arrived.len(), picks.len(), "requests lost");
+        prop_assert_eq!(returned.len(), picks.len(), "responses lost");
+    }
+
+    /// Transit times are causal and bounded below by the uncontended
+    /// physical minimum (injection + at least one cycle).
+    #[test]
+    fn arrivals_are_causal(
+        kind in kind_strategy(),
+        core in 0usize..CORES,
+        bank in 0usize..BANKS,
+    ) {
+        let mut net = NocNetwork::date16(kind);
+        net.inject_request(5, MemRequest {
+            core, home_bank: bank, kind: ReqKind::ReadLine, tag: 0,
+        });
+        let mut seen = None;
+        for now in 0..500 {
+            net.tick(now);
+            if let Some(a) = net.pop_arrival() {
+                seen = Some(a);
+                break;
+            }
+        }
+        let a = seen.expect("must arrive");
+        prop_assert!(a.at_cycle > 5, "arrived before injection");
+    }
+}

@@ -1,0 +1,48 @@
+//! # mot3d-phys — physical modelling substrate
+//!
+//! Physical models underpinning the reproduction of *"A Power-Efficient 3-D
+//! On-Chip Interconnect for Multi-Core Accelerators with Stacked L2 Cache"*
+//! (Kang et al., DATE 2016). The paper derives its latency and power
+//! numbers from a handful of classical models; this crate implements each
+//! of them:
+//!
+//! * [`units`] — strongly-typed physical quantities (`Seconds`, `Ohms`, …);
+//! * [`technology`] — process parameters of a calibrated 45 nm-class LP
+//!   node at 1 GHz;
+//! * [`rc`] — Elmore RC-tree delay (paper ref \[15\]) and optimally repeated
+//!   wires (the power-gateable "inverters placed along the on-chip wires");
+//! * [`tsv`] — TSV + micro-bump electrical model (refs \[14\]\[15\]);
+//! * [`sram`] — CACTI-style SRAM bank delay/energy/area (ref \[13\]);
+//! * [`geometry`] — the 3-D floorplan and Fig. 5 wire-length model;
+//! * [`power`] — McPAT-style core power (ref \[19\]), DRAM energy options,
+//!   and the energy-delay-product bookkeeping of Figs. 7–8.
+//!
+//! # Quick example
+//!
+//! Derive the longest-path delay of the paper's full configuration:
+//!
+//! ```
+//! use mot3d_phys::{geometry::Floorplan, rc::RepeatedWire, Technology};
+//!
+//! let tech = Technology::lp45();
+//! let fp = Floorplan::date16();
+//! let path = fp.longest_path(16, 32)?; // all 16 cores, all 32 banks
+//! let wire = RepeatedWire::new(&tech, path.horizontal);
+//! let tsv = fp.tsv.hop_delay(&tech, path.vertical_hops);
+//! let one_way = wire.delay() + tsv;
+//! assert!(one_way.ns() > 2.0 && one_way.ns() < 5.0);
+//! # Ok::<(), mot3d_phys::geometry::FloorplanError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod geometry;
+pub mod power;
+pub mod rc;
+pub mod sram;
+pub mod technology;
+pub mod tsv;
+pub mod units;
+
+pub use technology::Technology;

@@ -1,0 +1,180 @@
+//! McPAT-style core power model.
+//!
+//! The paper estimates core power with McPAT \[19\]. For an in-order
+//! Cortex-A5-class core at 1 GHz in a 45 nm-class LP node, the aggregate
+//! numbers that matter to cluster-level EDP are: dynamic energy per busy
+//! cycle, residual (clock-gated) energy per stalled cycle, and leakage
+//! power while the core is powered. Power-gated cores (the paper's `PC4`
+//! states) contribute nothing.
+
+use crate::units::{Joules, Seconds, Watts};
+
+/// Per-core energy/power coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_phys::power::CorePowerModel;
+/// use mot3d_phys::units::Seconds;
+///
+/// let core = CorePowerModel::cortex_a5_like();
+/// let e = core.energy(1_000, 500, Seconds::from_us(1.5), true);
+/// assert!(e.pj() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePowerModel {
+    /// Dynamic energy of one busy (instruction-retiring) cycle.
+    pub busy_energy_per_cycle: Joules,
+    /// Residual dynamic energy of one stalled/idle cycle (clock tree,
+    /// un-gated flops).
+    pub stall_energy_per_cycle: Joules,
+    /// Leakage power while the core is powered on.
+    pub leakage: Watts,
+}
+
+impl CorePowerModel {
+    /// Cortex-A5-class in-order core at 1 GHz, 45 nm LP: ≈ 80 mW dynamic
+    /// at full activity, ≈ 8 mW leakage (McPAT-era numbers).
+    ///
+    /// Stalled cycles burn close to busy power: the paper's setup (and
+    /// Graphite-era power models generally) applies no idle clock gating,
+    /// so cores spinning at barriers or waiting on memory keep their
+    /// clock trees and pipelines toggling. This is what makes core
+    /// power-gating (`PC4`) worthwhile for poorly-scaling programs —
+    /// Fig. 7's central result.
+    pub fn cortex_a5_like() -> Self {
+        CorePowerModel {
+            busy_energy_per_cycle: Joules::from_pj(80.0),
+            stall_energy_per_cycle: Joules::from_pj(74.0),
+            leakage: Watts::from_mw(8.0),
+        }
+    }
+
+    /// Total energy of one core over a run.
+    ///
+    /// `busy_cycles` retire work, `stall_cycles` wait on memory or
+    /// barriers, `wall_time` spans the whole run for leakage integration.
+    /// A power-gated core (`powered == false`) consumes nothing.
+    pub fn energy(
+        &self,
+        busy_cycles: u64,
+        stall_cycles: u64,
+        wall_time: Seconds,
+        powered: bool,
+    ) -> Joules {
+        if !powered {
+            return Joules::ZERO;
+        }
+        self.busy_energy_per_cycle * busy_cycles as f64
+            + self.stall_energy_per_cycle * stall_cycles as f64
+            + self.leakage * wall_time
+    }
+}
+
+impl Default for CorePowerModel {
+    /// Defaults to [`CorePowerModel::cortex_a5_like`].
+    fn default() -> Self {
+        CorePowerModel::cortex_a5_like()
+    }
+}
+
+/// DRAM access-energy coefficients for the three DRAM options of Table I.
+///
+/// The paper's EDP covers the cluster (cores, caches, interconnect); DRAM
+/// energy is provided separately so experiments can optionally include it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyModel {
+    /// Energy per 32 B line transfer.
+    pub energy_per_access: Joules,
+    /// Background (refresh + standby) power.
+    pub background: Watts,
+}
+
+impl DramEnergyModel {
+    /// Off-chip DDR3 at 200 ns (Table I / Micron datasheet \[18\]).
+    pub fn off_chip_ddr3() -> Self {
+        DramEnergyModel {
+            energy_per_access: Joules::from_nj(8.0),
+            background: Watts::from_mw(60.0),
+        }
+    }
+
+    /// On-chip 3-D Wide I/O SDR at 63 ns (JEDEC JESD229 \[17\]).
+    pub fn wide_io() -> Self {
+        DramEnergyModel {
+            energy_per_access: Joules::from_nj(2.0),
+            background: Watts::from_mw(25.0),
+        }
+    }
+
+    /// Optimised on-chip 3-D DRAM at 42 ns (Weis et al. \[16\]).
+    pub fn weis_3d() -> Self {
+        DramEnergyModel {
+            energy_per_access: Joules::from_nj(1.2),
+            background: Watts::from_mw(18.0),
+        }
+    }
+
+    /// Energy over a run with the given access count and duration.
+    pub fn energy(&self, accesses: u64, wall_time: Seconds) -> Joules {
+        self.energy_per_access * accesses as f64 + self.background * wall_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gated_core_consumes_nothing() {
+        let m = CorePowerModel::cortex_a5_like();
+        assert_eq!(m.energy(1000, 1000, Seconds::from_us(1.0), false), Joules::ZERO);
+    }
+
+    #[test]
+    fn busy_cycles_cost_more_than_stalls() {
+        let m = CorePowerModel::cortex_a5_like();
+        let t = Seconds::from_us(1.0);
+        let busy = m.energy(1000, 0, t, true);
+        let stalled = m.energy(0, 1000, t, true);
+        assert!(busy > stalled);
+    }
+
+    #[test]
+    fn leakage_accrues_with_wall_time() {
+        let m = CorePowerModel::cortex_a5_like();
+        let short = m.energy(0, 0, Seconds::from_us(1.0), true);
+        let long = m.energy(0, 0, Seconds::from_us(2.0), true);
+        assert!((long / short - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_activity_is_about_88mw() {
+        // 1 GHz × 80 pJ busy + 8 mW leakage ⇒ ~88 mW.
+        let m = CorePowerModel::cortex_a5_like();
+        let t = Seconds::from_us(1.0); // 1000 cycles at 1 GHz
+        let e = m.energy(1000, 0, t, true);
+        let p = e / t;
+        assert!((p.mw() - 88.0).abs() < 1.0, "{} mW", p.mw());
+    }
+
+    #[test]
+    fn dram_options_are_ordered_by_efficiency() {
+        let off = DramEnergyModel::off_chip_ddr3();
+        let wio = DramEnergyModel::wide_io();
+        let weis = DramEnergyModel::weis_3d();
+        assert!(off.energy_per_access > wio.energy_per_access);
+        assert!(wio.energy_per_access > weis.energy_per_access);
+    }
+
+    #[test]
+    fn dram_energy_scales_with_accesses() {
+        let m = DramEnergyModel::wide_io();
+        let t = Seconds::from_us(1.0);
+        let e1 = m.energy(100, t);
+        let e2 = m.energy(200, t);
+        assert!(e2 > e1);
+        let delta = e2 - e1;
+        assert!((delta.nj() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,206 @@
+//! Through-silicon-via (TSV) and micro-bump electrical model.
+//!
+//! Vertical hops in the 3-D stack are short (~40 µm die-to-die in Fig. 5)
+//! and electrically cheap compared to millimetres of horizontal wire — the
+//! delay asymmetry that the whole 3-D MoT design exploits. The model follows
+//! Katti et al. (IEEE TED 2010): the TSV is a copper cylinder through
+//! silicon with an oxide liner, giving
+//!
+//! ```text
+//! R_tsv = ρ_cu · h / (π · r²)
+//! C_tsv = 2π · ε_ox · h / ln(r_ox / r)
+//! ```
+//!
+//! Bonding uses micro-bumps (the paper cites a 40 µm × 50 µm minimum pitch
+//! from IMEC \[14\]); their series resistance and pad capacitance are small
+//! constants added per vertical hop.
+
+use crate::technology::Technology;
+use crate::units::{Farads, Joules, Meters, Ohms, Seconds};
+
+/// Copper resistivity (Ω·m) at operating temperature.
+const RHO_CU: f64 = 2.2e-8;
+/// SiO₂ permittivity (F/m): ε_r ≈ 3.9 × ε₀.
+const EPS_OX: f64 = 3.9 * 8.854e-12;
+
+/// Geometry and parasitics of one TSV plus its micro-bump.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_phys::tsv::Tsv;
+///
+/// let tsv = Tsv::date16();
+/// // Vertical hops are electrically tiny: tens of mΩ, tens of fF.
+/// assert!(tsv.resistance().value() < 1.0);
+/// assert!(tsv.capacitance().ff() < 200.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tsv {
+    /// Conductor radius.
+    pub radius: Meters,
+    /// Via height (die thickness after thinning; Fig. 5 shows ~40 µm).
+    pub height: Meters,
+    /// Oxide liner thickness.
+    pub liner: Meters,
+    /// Micro-bump series resistance.
+    pub bump_resistance: Ohms,
+    /// Micro-bump pad capacitance.
+    pub bump_capacitance: Farads,
+    /// Micro-bump pitch along x (paper: 40 µm).
+    pub bump_pitch_x: Meters,
+    /// Micro-bump pitch along y (paper: 50 µm).
+    pub bump_pitch_y: Meters,
+}
+
+impl Tsv {
+    /// The TSV/micro-bump stack assumed by the paper: ~40 µm thinned dies,
+    /// 5 µm-diameter vias, 40 µm × 50 µm micro-bump pitch \[14\].
+    pub fn date16() -> Self {
+        Tsv {
+            radius: Meters::from_um(2.5),
+            height: Meters::from_um(40.0),
+            liner: Meters::from_um(0.5),
+            bump_resistance: Ohms::new(0.05),
+            bump_capacitance: Farads::from_ff(10.0),
+            bump_pitch_x: Meters::from_um(40.0),
+            bump_pitch_y: Meters::from_um(50.0),
+        }
+    }
+
+    /// Series resistance of the via body plus its micro-bump.
+    pub fn resistance(&self) -> Ohms {
+        let r = self.radius.value();
+        let body = RHO_CU * self.height.value() / (core::f64::consts::PI * r * r);
+        Ohms::new(body) + self.bump_resistance
+    }
+
+    /// Capacitance of the via (coaxial through the oxide liner) plus the
+    /// micro-bump pad.
+    pub fn capacitance(&self) -> Farads {
+        let r_in = self.radius.value();
+        let r_out = r_in + self.liner.value();
+        let body = 2.0 * core::f64::consts::PI * EPS_OX * self.height.value() / (r_out / r_in).ln();
+        Farads::new(body) + self.bump_capacitance
+    }
+
+    /// 50 %-threshold delay of `hops` stacked vertical crossings driven by
+    /// the node's repeater cell. One hop = one die-to-die crossing (TSV +
+    /// micro-bump).
+    ///
+    /// This is deliberately a lumped-RC estimate: the vertical path is so
+    /// short that distributed effects are negligible next to the driver
+    /// term.
+    pub fn hop_delay(&self, tech: &Technology, hops: usize) -> Seconds {
+        self.hop_delay_with_driver(tech, hops, tech.repeater.drive_resistance)
+    }
+
+    /// Like [`Tsv::hop_delay`] but with an explicit driver resistance.
+    ///
+    /// TSV buses are typically driven by dedicated, sized-up drivers (the
+    /// capacitive load is known and fixed at design time), so the MoT
+    /// latency model passes a stronger driver here than the generic wire
+    /// repeater.
+    pub fn hop_delay_with_driver(&self, tech: &Technology, hops: usize, driver: Ohms) -> Seconds {
+        if hops == 0 {
+            return Seconds::ZERO;
+        }
+        let n = hops as f64;
+        let c_total = self.capacitance() * n + tech.repeater.input_cap;
+        let r_via = self.resistance() * n;
+        // ln2·R_drv·C + ln2·R_via·C_load — both terms tiny by construction.
+        let t = core::f64::consts::LN_2
+            * (driver.value() * c_total.value() + r_via.value() * tech.repeater.input_cap.value());
+        tech.repeater.intrinsic_delay + Seconds::new(t)
+    }
+
+    /// Switching energy of one transition through `hops` crossings.
+    pub fn hop_energy(&self, tech: &Technology, hops: usize) -> Joules {
+        (self.capacitance() * hops as f64).switching_energy(tech.vdd)
+    }
+
+    /// Vertical span of `hops` crossings (for Fig. 5-style geometry
+    /// reports).
+    pub fn span(&self, hops: usize) -> Meters {
+        self.height * hops as f64
+    }
+}
+
+impl Default for Tsv {
+    /// Defaults to the paper's assumed stack ([`Tsv::date16`]).
+    fn default() -> Self {
+        Tsv::date16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date16_resistance_in_milliohm_range() {
+        let r = Tsv::date16().resistance();
+        assert!(r.value() > 0.01 && r.value() < 1.0, "R = {} Ω", r.value());
+    }
+
+    #[test]
+    fn date16_capacitance_in_tens_of_ff() {
+        let c = Tsv::date16().capacitance();
+        assert!(c.ff() > 10.0 && c.ff() < 200.0, "C = {} fF", c.ff());
+    }
+
+    #[test]
+    fn vertical_hop_is_much_faster_than_horizontal_mm() {
+        // The delay asymmetry from Fig. 5: a vertical hop (~40 µm) is far
+        // faster than 1 mm of repeated wire (driver-dominated, so the gap
+        // is a small multiple rather than the raw 25× length ratio).
+        let tech = Technology::lp45();
+        let tsv = Tsv::date16();
+        let vertical = tsv.hop_delay(&tech, 1);
+        let horizontal =
+            crate::rc::RepeatedWire::new(&tech, Meters::from_mm(1.0)).delay();
+        assert!(
+            vertical.value() * 2.0 < horizontal.value(),
+            "vertical {} ns vs horizontal {} ns",
+            vertical.ns(),
+            horizontal.ns()
+        );
+    }
+
+    #[test]
+    fn hop_delay_zero_hops_is_zero() {
+        let tech = Technology::lp45();
+        assert_eq!(Tsv::date16().hop_delay(&tech, 0), Seconds::ZERO);
+    }
+
+    #[test]
+    fn hop_delay_monotone_in_hops() {
+        let tech = Technology::lp45();
+        let tsv = Tsv::date16();
+        let d1 = tsv.hop_delay(&tech, 1);
+        let d2 = tsv.hop_delay(&tech, 2);
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn span_matches_height_times_hops() {
+        let tsv = Tsv::date16();
+        assert!((tsv.span(2).um() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_hops() {
+        let tech = Technology::lp45();
+        let tsv = Tsv::date16();
+        let e1 = tsv.hop_energy(&tech, 1);
+        let e3 = tsv.hop_energy(&tech, 3);
+        assert!((e3 / e1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thinner_liner_means_more_capacitance() {
+        let mut thin = Tsv::date16();
+        thin.liner = Meters::from_um(0.05);
+        assert!(thin.capacitance() > Tsv::date16().capacitance());
+    }
+}

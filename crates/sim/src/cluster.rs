@@ -1,0 +1,1085 @@
+//! The 3-D multi-core cluster (Fig. 1): in-order cores with private L1
+//! data caches, the stacked multi-banked shared L2 reached over a
+//! swappable [`Interconnect`], the round-robin Miss bus, and DRAM.
+//!
+//! ## Timing model
+//!
+//! Cycle-stepped at the 1 GHz cluster clock. Cores retire one instruction
+//! per cycle and block on memory; an L1 miss becomes an interconnect
+//! transaction whose round trip (inject → bank arbitration → bank access
+//! → response) *is* the L2 access latency the paper measures (Fig. 6(a)).
+//! L2 misses queue on the Miss bus and pay the Table I DRAM latency.
+//!
+//! ## Functional model (atomic-at-home-node)
+//!
+//! Architectural state (line tokens, directory, golden memory) updates
+//! atomically at well-defined points — stores and directory changes at
+//! the bank when the request is serviced, L1-eviction writebacks at
+//! eviction time — while the corresponding messages still travel the
+//! interconnect for timing and energy. This keeps the MSI protocol free
+//! of transient-state races without losing any of the latency/energy
+//! effects the paper evaluates; the golden-memory oracle validates the
+//! end-to-end result, including across runtime bank power-gating flushes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::config::{InterconnectChoice, SimConfig};
+use crate::error::SimError;
+use crate::metrics::{LatencyStats, Metrics};
+use mot3d_mem::addr::{AddressMap, LineAddr};
+use mot3d_mem::bus::{MissBus, Transfer};
+use mot3d_mem::cache::{CacheConfig, SetAssocCache};
+use mot3d_mem::coherence::Directory;
+use mot3d_mem::dram::{Dram, DramTiming};
+use mot3d_mem::golden::GoldenMemory;
+use mot3d_mot::latency::MotTimingParams;
+use mot3d_mot::reconfig::MotConfiguration;
+use mot3d_mot::topology::MotTopology;
+use mot3d_mot::traits::{Interconnect, MemRequest, MemResponse, ReqKind};
+use mot3d_mot::{MotNetwork, PowerState};
+use mot3d_noc::NocNetwork;
+use mot3d_phys::geometry::Floorplan;
+use mot3d_phys::power::{CorePowerModel, DramEnergyModel, EnergyBreakdown};
+use mot3d_phys::sram::{SramBank, SramConfig};
+use mot3d_phys::Technology;
+use mot3d_workloads::{CoreStream, Op, StreamOp};
+
+/// Physical cores in the cluster (Table I).
+pub const TOTAL_CORES: usize = 16;
+/// Physical L2 banks (Table I).
+pub const TOTAL_BANKS: usize = 32;
+/// Sentinel tag for occupancy-only bus transfers (victim writebacks).
+const WB_TAG: u64 = u64::MAX;
+
+/// Per-L1-line coherence view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct L1Meta {
+    /// Holds the line in Modified (exclusive) state.
+    exclusive: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CoreStatus {
+    Ready,
+    Computing { until: u64 },
+    WaitingMem,
+    WaitingIFetch,
+    AtBarrier { id: u32 },
+    Finished,
+}
+
+#[derive(Debug)]
+struct CoreState {
+    /// Physical core id (grid position); ranks index into `cores`.
+    physical: usize,
+    stream: CoreStream,
+    status: CoreStatus,
+    l1: SetAssocCache<L1Meta>,
+    busy_cycles: u64,
+    retired: u64,
+    finished_at: Option<u64>,
+}
+
+#[derive(Debug)]
+struct BankState {
+    cache: SetAssocCache<Directory>,
+    powered: bool,
+    free_at: u64,
+    reads: u64,
+    writes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxKind {
+    Load,
+    Store,
+    Upgrade,
+    L1Writeback,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Tx {
+    core_idx: usize,
+    line: LineAddr,
+    kind: TxKind,
+    issued_at: u64,
+    value: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    /// L2 tag check done on a miss: start the Miss-bus transfer.
+    BusEnqueue { bank: usize, tag: u64 },
+    /// DRAM returned the line: fill the bank and respond.
+    Refill { bank: usize, tag: u64 },
+    /// Send a response into the interconnect.
+    Respond { tag: u64, core: usize, bank: usize, write: bool },
+    /// Instruction refill arrived at the core.
+    IFetchDone { core_idx: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    action: Action,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    config: SimConfig,
+    tech: Technology,
+    floorplan: Floorplan,
+    map: AddressMap,
+    interconnect: Box<dyn Interconnect>,
+    mot_cfg: Option<MotConfiguration>,
+    cores: Vec<CoreState>,
+    banks: Vec<BankState>,
+    bus: MissBus,
+    dram: Dram,
+    golden: Option<GoldenMemory>,
+    txs: HashMap<u64, Tx>,
+    next_tag: u64,
+    store_tokens: u64,
+    events: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    now: u64,
+    paused: bool,
+    // metric counters
+    l1_hits: u64,
+    l1_misses: u64,
+    l2_hits: u64,
+    l2_misses: u64,
+    dram_accesses: u64,
+    invalidations: u64,
+    recalls: u64,
+    l2_latency: LatencyStats,
+    // physical models for energy finalisation
+    l1_model: SramBank,
+    l2_model: SramBank,
+    core_power: CorePowerModel,
+    dram_power: DramEnergyModel,
+    l1_reads: u64,
+    l1_writes: u64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .field("state", &self.config.power_state.to_string())
+            .field("interconnect", &self.interconnect.name().to_string())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Builds the cluster for `config`, one workload stream per active
+    /// core.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the interconnect rejects the power state (baseline
+    /// NoCs only support `Full connection`) or stream count mismatches.
+    pub fn new(config: SimConfig, streams: Vec<CoreStream>) -> Result<Self, SimError> {
+        let tech = Technology::lp45();
+        let floorplan = Floorplan::date16();
+        let map = AddressMap::date16();
+        let state = config.power_state;
+        state.check_fits(TOTAL_CORES, TOTAL_BANKS)?;
+        if streams.len() != state.active_cores() {
+            return Err(SimError::StreamCountMismatch {
+                streams: streams.len(),
+                active_cores: state.active_cores(),
+            });
+        }
+
+        let (interconnect, mot_cfg): (Box<dyn Interconnect>, Option<MotConfiguration>) =
+            match config.interconnect {
+                InterconnectChoice::Mot => {
+                    let net = MotNetwork::new(
+                        &tech,
+                        &floorplan,
+                        MotTopology::date16(),
+                        &MotTimingParams::default(),
+                        state,
+                    )?;
+                    let cfg = net.configuration().clone();
+                    (Box::new(net), Some(cfg))
+                }
+                InterconnectChoice::Noc(kind) => {
+                    if state != PowerState::full() {
+                        return Err(SimError::NocNeedsFullState(kind));
+                    }
+                    (Box::new(NocNetwork::new(&tech, &floorplan, kind)), None)
+                }
+            };
+
+        let physical_cores: Vec<usize> = match &mot_cfg {
+            Some(cfg) => cfg.active_cores(),
+            None => (0..TOTAL_CORES).collect(),
+        };
+        debug_assert_eq!(physical_cores.len(), streams.len());
+
+        let cores = physical_cores
+            .into_iter()
+            .zip(streams)
+            .map(|(physical, stream)| {
+                CoreState {
+                    physical,
+                    stream,
+                    status: CoreStatus::Ready,
+                    l1: SetAssocCache::new(CacheConfig::l1_date16())
+                        .expect("Table I L1 geometry is valid"),
+                    busy_cycles: 0,
+                    retired: 0,
+                    finished_at: None,
+                }
+            })
+            .collect();
+
+        let banks = (0..TOTAL_BANKS)
+            .map(|b| BankState {
+                cache: SetAssocCache::new(CacheConfig::l2_bank_date16())
+                    .expect("Table I L2 geometry is valid"),
+                powered: mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b)),
+                free_at: 0,
+                reads: 0,
+                writes: 0,
+            })
+            .collect();
+
+        let dram_timing = if config.dram_open_page {
+            DramTiming::open_page(config.dram.latency_cycles())
+        } else {
+            DramTiming::fixed(config.dram.latency_cycles())
+        };
+
+        let dram_power = match config.dram {
+            mot3d_mem::dram::DramKind::OffChipDdr3 => DramEnergyModel::off_chip_ddr3(),
+            mot3d_mem::dram::DramKind::WideIo => DramEnergyModel::wide_io(),
+            mot3d_mem::dram::DramKind::Weis3d => DramEnergyModel::weis_3d(),
+        };
+
+        Ok(Cluster {
+            config,
+            floorplan,
+            map,
+            interconnect,
+            mot_cfg,
+            cores,
+            banks,
+            bus: MissBus::new(TOTAL_BANKS + TOTAL_CORES, config.miss_bus_occupancy),
+            dram: Dram::new(dram_timing, map),
+            golden: config.check_golden.then(GoldenMemory::new),
+            txs: HashMap::new(),
+            next_tag: 0,
+            store_tokens: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            paused: false,
+            l1_hits: 0,
+            l1_misses: 0,
+            l2_hits: 0,
+            l2_misses: 0,
+            dram_accesses: 0,
+            invalidations: 0,
+            recalls: 0,
+            l2_latency: LatencyStats::default(),
+            l1_model: SramBank::model(&tech, SramConfig::l1_date16())
+                .expect("Table I L1 geometry is valid"),
+            l2_model: SramBank::model(&tech, SramConfig::l2_bank_date16())
+                .expect("Table I L2 geometry is valid"),
+            core_power: CorePowerModel::cortex_a5_like(),
+            dram_power: DramEnergyModel::off_chip_ddr3(),
+            l1_reads: 0,
+            l1_writes: 0,
+            tech,
+        }
+        .with_dram_power(dram_power))
+    }
+
+    fn with_dram_power(mut self, p: DramEnergyModel) -> Self {
+        self.dram_power = p;
+        self
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Whether every core finished and all machinery drained.
+    pub fn is_done(&self) -> bool {
+        self.cores
+            .iter()
+            .all(|c| c.status == CoreStatus::Finished)
+            && self.txs.is_empty()
+            && self.events.is_empty()
+            && self.bus.is_idle()
+    }
+
+    /// The physical bank that currently serves a home bank index.
+    fn serving_bank(&self, home: usize) -> usize {
+        match &self.mot_cfg {
+            Some(cfg) => cfg.remap_bank(home),
+            None => home,
+        }
+    }
+
+    fn l2_cycles(&self) -> u64 {
+        self.l2_model.access_cycles(&self.tech)
+    }
+
+    fn schedule(&mut self, at: u64, action: Action) {
+        self.seq += 1;
+        self.events.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            action,
+        }));
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        debug_assert_ne!(tag, WB_TAG);
+        tag
+    }
+
+    fn fresh_token(&mut self, core_idx: usize) -> u64 {
+        self.store_tokens += 1;
+        ((core_idx as u64 + 1) << 48) | self.store_tokens
+    }
+
+    /// Starts a memory transaction for a core and blocks it.
+    fn start_tx(&mut self, core_idx: usize, line: LineAddr, kind: TxKind) {
+        let tag = self.fresh_tag();
+        let value = if matches!(kind, TxKind::Store | TxKind::Upgrade) {
+            self.fresh_token(core_idx)
+        } else {
+            0
+        };
+        self.txs.insert(
+            tag,
+            Tx {
+                core_idx,
+                line,
+                kind,
+                issued_at: self.now,
+                value,
+            },
+        );
+        let physical = self.cores[core_idx].physical;
+        self.interconnect.inject_request(
+            self.now,
+            MemRequest {
+                core: physical,
+                home_bank: self.map.home_bank(line),
+                kind: ReqKind::ReadLine,
+                tag,
+            },
+        );
+        self.cores[core_idx].status = CoreStatus::WaitingMem;
+    }
+
+    /// L1 dirty eviction: functional state syncs immediately; a ghost
+    /// WriteLine message still travels for timing/energy.
+    fn l1_writeback(&mut self, core_idx: usize, line: LineAddr, data: u64) {
+        let bank = self.serving_bank(self.map.home_bank(line));
+        let physical = self.cores[core_idx].physical;
+        // Functional: L2 is kept current by the atomic-at-home-node rule,
+        // so the data matches; just release the directory slot.
+        if let Some(dir) = self.banks[bank].cache.payload_mut(line) {
+            dir.drop_core(physical);
+        }
+        let _ = data;
+        let tag = self.fresh_tag();
+        self.txs.insert(
+            tag,
+            Tx {
+                core_idx,
+                line,
+                kind: TxKind::L1Writeback,
+                issued_at: self.now,
+                value: 0,
+            },
+        );
+        self.interconnect.inject_request(
+            self.now,
+            MemRequest {
+                core: physical,
+                home_bank: self.map.home_bank(line),
+                kind: ReqKind::WriteLine,
+                tag,
+            },
+        );
+    }
+
+    /// Fills a line into a core's L1, handling the displaced victim.
+    fn l1_fill(&mut self, core_idx: usize, line: LineAddr, value: u64, exclusive: bool) {
+        let evicted = self.cores[core_idx].l1.fill(line, value, exclusive);
+        if let Some(meta) = self.cores[core_idx].l1.payload_mut(line) {
+            meta.exclusive = exclusive;
+        }
+        match evicted {
+            Some(ev) if ev.dirty => self.l1_writeback(core_idx, ev.addr, ev.data),
+            Some(ev) => {
+                // Clean evictions are silent; the directory may retain a
+                // stale sharer, which later invalidations tolerate.
+                let _ = ev;
+            }
+            None => {}
+        }
+    }
+
+    /// Invalidate a line from a specific physical core's L1 (coherence).
+    fn invalidate_l1(&mut self, physical: usize, line: LineAddr) {
+        if let Some(core) = self.cores.iter_mut().find(|c| c.physical == physical) {
+            core.l1.invalidate(line);
+        }
+    }
+
+    /// Services a request at its bank. Mutates architectural state now;
+    /// schedules the response at the right time.
+    fn service_bank(&mut self, bank_idx: usize, tag: u64, at_cycle: u64) {
+        let tx = *self.txs.get(&tag).expect("arrival has a transaction");
+        assert!(
+            self.banks[bank_idx].powered,
+            "request arrived at gated bank {bank_idx}"
+        );
+        let access = self.l2_cycles();
+        let start = at_cycle.max(self.banks[bank_idx].free_at);
+        self.banks[bank_idx].free_at = start + access;
+        let done = start + access;
+
+        if tx.kind == TxKind::L1Writeback {
+            // Ghost writeback: occupancy + stats only (state already
+            // synced at eviction).
+            self.banks[bank_idx].writes += 1;
+            self.txs.remove(&tag);
+            return;
+        }
+
+        let physical = self.cores[tx.core_idx].physical;
+        let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
+
+        if self.banks[bank_idx].cache.peek(tx.line).is_some() {
+            // --- L2 hit ---------------------------------------------
+            self.l2_hits += 1;
+            let extra = self.access_resident_line(bank_idx, tag);
+            self.schedule(
+                done + extra,
+                Action::Respond {
+                    tag,
+                    core: physical,
+                    bank: bank_idx,
+                    write: is_store,
+                },
+            );
+        } else {
+            // --- L2 miss: tag check, then the Miss bus + DRAM ---------
+            self.l2_misses += 1;
+            self.schedule(done, Action::BusEnqueue { bank: bank_idx, tag });
+        }
+    }
+
+    /// Performs the coherence actions and data movement for a transaction
+    /// whose line is resident in `bank_idx`. Returns the extra response
+    /// latency charged for recalls/invalidations. Shared by the L2-hit
+    /// path and the post-refill path (a concurrent miss to the same line
+    /// may find it already filled and owned — the blocking-cache
+    /// equivalent of an MSHR merge).
+    fn access_resident_line(&mut self, bank_idx: usize, tag: u64) -> u64 {
+        let tx = *self.txs.get(&tag).expect("transaction exists");
+        let physical = self.cores[tx.core_idx].physical;
+        let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
+        let mut extra = 0u64;
+        let oneway = self.interconnect.oneway_latency_hint();
+
+        let dir_owner = self.banks[bank_idx]
+            .cache
+            .payload(tx.line)
+            .and_then(|d| d.owner());
+        if let Some(owner) = dir_owner {
+            if owner != physical {
+                // Recall the modified copy (data already current in L2 by
+                // the atomic rule; pay the protocol latency).
+                self.recalls += 1;
+                extra += 2 * oneway + 4;
+                if is_store {
+                    self.invalidate_l1(owner, tx.line);
+                    self.invalidations += 1;
+                } else if let Some(core) = self.cores.iter_mut().find(|c| c.physical == owner) {
+                    if let Some(meta) = core.l1.payload_mut(tx.line) {
+                        meta.exclusive = false;
+                    }
+                }
+                let dir = self.banks[bank_idx]
+                    .cache
+                    .payload_mut(tx.line)
+                    .expect("resident line has directory");
+                dir.owner_writeback(!is_store);
+            }
+        }
+
+        if is_store {
+            let victims: Vec<usize> = {
+                let dir = self.banks[bank_idx]
+                    .cache
+                    .payload_mut(tx.line)
+                    .expect("resident line has directory");
+                dir.grant_exclusive(physical)
+            };
+            if !victims.is_empty() {
+                extra += 2 * oneway + 2;
+                self.invalidations += victims.len() as u64;
+                for v in victims {
+                    self.invalidate_l1(v, tx.line);
+                }
+            }
+            // Store becomes architecturally visible now.
+            self.banks[bank_idx].cache.write(tx.line, tx.value);
+            if let Some(golden) = &mut self.golden {
+                golden.write(tx.line, tx.value);
+            }
+            self.banks[bank_idx].writes += 1;
+        } else {
+            let dir = self.banks[bank_idx]
+                .cache
+                .payload_mut(tx.line)
+                .expect("resident line has directory");
+            dir.add_sharer(physical);
+            let value = self.banks[bank_idx]
+                .cache
+                .read(tx.line)
+                .expect("resident line reads");
+            // The load is architecturally ordered *here*; the golden
+            // comparison must use this point, not the delivery time (a
+            // store ordered in between is not a violation).
+            if let Some(golden) = &self.golden {
+                assert_eq!(
+                    value,
+                    golden.read(tx.line),
+                    "load mismatch at {:?} cycle {} (ordering point)",
+                    tx.line,
+                    self.now
+                );
+            }
+            self.txs.get_mut(&tag).expect("tx exists").value = value;
+            self.banks[bank_idx].reads += 1;
+        }
+        extra
+    }
+
+    /// DRAM refill arrives at the bank: fill, handle the victim, respond.
+    fn refill_bank(&mut self, bank_idx: usize, tag: u64) {
+        let tx = *self.txs.get(&tag).expect("refill has a transaction");
+        let physical = self.cores[tx.core_idx].physical;
+        let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
+
+        if self.banks[bank_idx].cache.peek(tx.line).is_none() {
+            let dram_value = self.dram.read_line(tx.line);
+            let evicted = self.banks[bank_idx].cache.fill(tx.line, dram_value, false);
+            if let Some(ev) = evicted {
+                // Maintain inclusion: kick the victim out of any L1
+                // holding it.
+                let holders: Vec<usize> = ev.payload.sharers().collect();
+                for h in holders {
+                    self.invalidate_l1(h, ev.addr);
+                    self.invalidations += 1;
+                }
+                if let Some(owner) = ev.payload.owner() {
+                    self.invalidate_l1(owner, ev.addr);
+                    self.invalidations += 1;
+                }
+                if ev.dirty {
+                    self.dram.write_line(ev.addr, ev.data);
+                    self.dram_accesses += 1;
+                    // Victim writeback occupies the Miss bus (timing only).
+                    self.bus.enqueue(Transfer {
+                        requester: bank_idx,
+                        tag: WB_TAG,
+                    });
+                }
+            }
+        }
+        // A concurrent miss may have filled the line meanwhile; either
+        // way it is resident now and the normal access path applies.
+        let extra = self.access_resident_line(bank_idx, tag);
+
+        self.schedule(
+            self.now + self.l2_cycles() + extra,
+            Action::Respond {
+                tag,
+                core: physical,
+                bank: bank_idx,
+                write: is_store,
+            },
+        );
+    }
+
+    /// Whether the directory still registers this core for the line (a
+    /// concurrent transaction may have invalidated it while the response
+    /// was in flight; in that case the fill must be dropped — the
+    /// operation itself was already ordered at the bank).
+    fn still_registered(&self, physical: usize, line: LineAddr, as_owner: bool) -> bool {
+        let bank = self.serving_bank(self.map.home_bank(line));
+        match self.banks[bank].cache.payload(line) {
+            Some(dir) if as_owner => dir.owner() == Some(physical),
+            Some(dir) => dir.holds(physical),
+            None => false,
+        }
+    }
+
+    /// A response arrived back at its core: complete the instruction.
+    fn complete_delivery(&mut self, tag: u64, at_cycle: u64) {
+        let tx = self.txs.remove(&tag).expect("delivery has a transaction");
+        self.l2_latency.record(at_cycle.saturating_sub(tx.issued_at));
+        let physical = self.cores[tx.core_idx].physical;
+        match tx.kind {
+            TxKind::Load => {
+                // (Golden-checked at the bank, the architectural ordering
+                // point.) Drop the fill if an in-flight invalidation
+                // already revoked our copy.
+                if self.still_registered(physical, tx.line, false) {
+                    self.l1_fill(tx.core_idx, tx.line, tx.value, false);
+                }
+            }
+            TxKind::Store | TxKind::Upgrade => {
+                // The store was performed at the bank; only cache the
+                // line in M state if we still own it.
+                if self.still_registered(physical, tx.line, true) {
+                    if self.cores[tx.core_idx].l1.peek(tx.line).is_some() {
+                        self.cores[tx.core_idx].l1.write(tx.line, tx.value);
+                    } else {
+                        self.l1_fill(tx.core_idx, tx.line, tx.value, true);
+                    }
+                    if let Some(meta) = self.cores[tx.core_idx].l1.payload_mut(tx.line) {
+                        meta.exclusive = true;
+                    }
+                } else {
+                    // Ownership was revoked in flight (e.g. a reader
+                    // downgraded us). An upgrade's surviving L1 copy is
+                    // the *pre-store* image — newer data already lives in
+                    // L2 — so it must not serve future hits.
+                    self.cores[tx.core_idx].l1.invalidate(tx.line);
+                }
+            }
+            TxKind::L1Writeback => unreachable!("writebacks have no responses"),
+        }
+        self.cores[tx.core_idx].status = CoreStatus::Ready;
+    }
+
+    /// One core issue step.
+    fn step_core(&mut self, idx: usize) {
+        match self.cores[idx].status {
+            CoreStatus::Computing { until } if self.now >= until => {
+                self.cores[idx].status = CoreStatus::Ready;
+            }
+            _ => {}
+        }
+        if self.cores[idx].status != CoreStatus::Ready || self.paused {
+            return;
+        }
+        let Some(op) = self.cores[idx].stream.next() else {
+            self.cores[idx].status = CoreStatus::Finished;
+            self.cores[idx].finished_at = Some(self.now);
+            return;
+        };
+        match op {
+            StreamOp::Op(Op::Compute(n)) => {
+                let c = &mut self.cores[idx];
+                c.busy_cycles += n as u64;
+                c.retired += n as u64;
+                c.status = CoreStatus::Computing {
+                    until: self.now + n as u64,
+                };
+            }
+            StreamOp::Op(Op::Load(addr)) => {
+                let line = self.map.line_of(addr);
+                self.cores[idx].busy_cycles += 1;
+                self.cores[idx].retired += 1;
+                self.l1_reads += 1;
+                if let Some(value) = self.cores[idx].l1.read(line) {
+                    self.l1_hits += 1;
+                    if let Some(golden) = &self.golden {
+                        assert_eq!(
+                            value,
+                            golden.read(line),
+                            "L1 load mismatch at {line:?} cycle {}",
+                            self.now
+                        );
+                    }
+                    self.cores[idx].status = CoreStatus::Computing {
+                        until: self.now + 1,
+                    };
+                } else {
+                    self.l1_misses += 1;
+                    self.start_tx(idx, line, TxKind::Load);
+                }
+            }
+            StreamOp::Op(Op::Store(addr)) => {
+                let line = self.map.line_of(addr);
+                self.cores[idx].busy_cycles += 1;
+                self.cores[idx].retired += 1;
+                self.l1_writes += 1;
+                let exclusive = self.cores[idx]
+                    .l1
+                    .payload(line)
+                    .is_some_and(|m| m.exclusive);
+                if exclusive {
+                    // M-state store: 1 cycle; keep L2 architecturally
+                    // current (atomic-at-home-node bookkeeping, no
+                    // traffic).
+                    self.l1_hits += 1;
+                    let token = self.fresh_token(idx);
+                    self.cores[idx].l1.write(line, token);
+                    let bank = self.serving_bank(self.map.home_bank(line));
+                    debug_assert!(
+                        self.banks[bank].cache.peek(line).is_some(),
+                        "inclusion violated for {line:?}"
+                    );
+                    self.banks[bank].cache.write(line, token);
+                    if let Some(golden) = &mut self.golden {
+                        golden.write(line, token);
+                    }
+                    self.cores[idx].status = CoreStatus::Computing {
+                        until: self.now + 1,
+                    };
+                } else if self.cores[idx].l1.peek(line).is_some() {
+                    self.l1_misses += 1;
+                    self.start_tx(idx, line, TxKind::Upgrade);
+                } else {
+                    self.l1_misses += 1;
+                    self.start_tx(idx, line, TxKind::Store);
+                }
+            }
+            StreamOp::Op(Op::Barrier(id)) => {
+                self.cores[idx].status = CoreStatus::AtBarrier { id };
+            }
+            StreamOp::IFetchMiss(addr) => {
+                let physical = self.cores[idx].physical;
+                self.cores[idx].status = CoreStatus::WaitingIFetch;
+                self.bus.enqueue(Transfer {
+                    requester: TOTAL_BANKS + physical,
+                    tag: addr,
+                });
+            }
+        }
+    }
+
+    /// Releases barriers when every unfinished core reached one.
+    fn check_barriers(&mut self) {
+        let mut any_waiting = false;
+        for c in &self.cores {
+            match c.status {
+                CoreStatus::AtBarrier { .. } => any_waiting = true,
+                CoreStatus::Finished => {}
+                _ => return, // someone still working: barrier not ready
+            }
+        }
+        if any_waiting {
+            for c in &mut self.cores {
+                if matches!(c.status, CoreStatus::AtBarrier { .. }) {
+                    c.status = CoreStatus::Ready;
+                }
+            }
+        }
+    }
+
+    /// Advances the cluster by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        self.interconnect.tick(now);
+
+        // Scheduled actions due this cycle.
+        while let Some(Reverse(s)) = self.events.peek() {
+            if s.at > now {
+                break;
+            }
+            let Reverse(s) = self.events.pop().expect("peeked");
+            match s.action {
+                Action::BusEnqueue { bank, tag } => {
+                    self.bus.enqueue(Transfer { requester: bank, tag });
+                }
+                Action::Refill { bank, tag } => self.refill_bank(bank, tag),
+                Action::Respond {
+                    tag,
+                    core,
+                    bank,
+                    write,
+                } => {
+                    self.interconnect.inject_response(
+                        now,
+                        MemResponse {
+                            core,
+                            bank,
+                            kind: if write {
+                                ReqKind::WriteLine
+                            } else {
+                                ReqKind::ReadLine
+                            },
+                            tag,
+                        },
+                    );
+                }
+                Action::IFetchDone { core_idx } => {
+                    if self.cores[core_idx].status == CoreStatus::WaitingIFetch {
+                        self.cores[core_idx].status = CoreStatus::Ready;
+                    }
+                }
+            }
+        }
+
+        // Miss-bus grant completion (one per cycle).
+        if let Some(t) = self.bus.tick(now) {
+            if t.requester < TOTAL_BANKS {
+                if t.tag == WB_TAG {
+                    // Victim writeback reached DRAM; already applied.
+                } else {
+                    let tx = self.txs.get(&t.tag).expect("bus transfer has tx");
+                    let done = self.dram.access(now, tx.line, false);
+                    self.dram_accesses += 1;
+                    self.schedule(
+                        done,
+                        Action::Refill {
+                            bank: t.requester,
+                            tag: t.tag,
+                        },
+                    );
+                }
+            } else {
+                // Instruction refill: straight to DRAM and back (§II).
+                let physical = t.requester - TOTAL_BANKS;
+                let line = self.map.line_of(t.tag);
+                let done = self.dram.access(now, line, false);
+                self.dram_accesses += 1;
+                if let Some(core_idx) = self.cores.iter().position(|c| c.physical == physical) {
+                    self.schedule(done, Action::IFetchDone { core_idx });
+                }
+            }
+        }
+
+        // Requests arriving at banks.
+        while let Some(a) = self.interconnect.pop_arrival() {
+            self.service_bank(a.bank, a.request.tag, a.at_cycle);
+        }
+
+        // Responses arriving at cores.
+        while let Some(d) = self.interconnect.pop_delivery() {
+            self.complete_delivery(d.response.tag, d.at_cycle);
+        }
+
+        self.check_barriers();
+
+        for idx in 0..self.cores.len() {
+            self.step_core(idx);
+        }
+
+        self.now += 1;
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if `max_cycles` is exceeded (a deadlock or
+    /// runaway configuration).
+    pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        while !self.is_done() {
+            if self.now >= self.config.max_cycles {
+                return Err(SimError::CycleLimit(self.config.max_cycles));
+            }
+            self.step();
+        }
+        Ok(())
+    }
+
+    /// Drains all in-flight work without issuing new instructions
+    /// (pre-transition quiescence).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if draining does not converge.
+    pub fn drain(&mut self) -> Result<(), SimError> {
+        self.paused = true;
+        let limit = self.now + 1_000_000;
+        while !(self.txs.is_empty() && self.events.is_empty() && self.bus.is_idle()) {
+            if self.now >= limit {
+                self.paused = false;
+                return Err(SimError::CycleLimit(limit));
+            }
+            self.step();
+        }
+        self.paused = false;
+        Ok(())
+    }
+
+    /// The current power state.
+    pub fn power_state(&self) -> PowerState {
+        self.config.power_state
+    }
+
+    /// Collects final metrics (consumes nothing; callable after
+    /// [`Cluster::run_to_completion`]).
+    pub fn metrics(&self, label: impl Into<String>) -> Metrics {
+        let cycles = self.now;
+        let exec_time = self.tech.period() * cycles as f64;
+        let instructions: u64 = self.cores.iter().map(|c| c.retired).sum();
+
+        let mut energy = EnergyBreakdown::default();
+        for c in &self.cores {
+            let busy = c.busy_cycles;
+            let span = c.finished_at.unwrap_or(cycles).max(busy);
+            let stall = span - busy;
+            energy.cores += self.core_power.energy(busy, stall, exec_time, true);
+        }
+        // Private L1s: per-access dynamic + leakage while powered.
+        energy.l1 += self.l1_model.read_energy() * self.l1_reads as f64
+            + self.l1_model.write_energy() * self.l1_writes as f64
+            + self.l1_model.leakage() * exec_time * self.cores.len() as f64;
+        let powered_banks = self.banks.iter().filter(|b| b.powered).count() as f64;
+        let l2_reads: u64 = self.banks.iter().map(|b| b.reads).sum();
+        let l2_writes: u64 = self.banks.iter().map(|b| b.writes).sum();
+        energy.l2 += self.l2_model.read_energy() * l2_reads as f64
+            + self.l2_model.write_energy() * l2_writes as f64
+            + self.l2_model.leakage() * exec_time * powered_banks;
+        energy.interconnect +=
+            self.interconnect.dynamic_energy() + self.interconnect.leakage_power() * exec_time;
+        energy.dram += self.dram_power.energy(self.dram_accesses, exec_time);
+
+        Metrics {
+            label: label.into(),
+            cycles,
+            exec_time,
+            instructions,
+            l1_hits: self.l1_hits,
+            l1_misses: self.l1_misses,
+            l2_hits: self.l2_hits,
+            l2_misses: self.l2_misses,
+            dram_accesses: self.dram_accesses,
+            l2_latency: self.l2_latency.clone(),
+            invalidations: self.invalidations,
+            recalls: self.recalls,
+            interconnect: self.interconnect.stats(),
+            energy,
+        }
+    }
+
+    /// Runtime power-state transition (§III): drain, flush the lines that
+    /// no longer belong (dirty ones to DRAM over the Miss bus), swap the
+    /// interconnect configuration, resume. Core counts must match — core
+    /// migration is an OS concern outside this model.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] if the new state changes the core count, the
+    /// interconnect is not the reconfigurable MoT, or draining fails.
+    pub fn switch_power_state(&mut self, new_state: PowerState) -> Result<(), SimError> {
+        if self.mot_cfg.is_none() {
+            return Err(SimError::NotReconfigurable);
+        }
+        if new_state.active_cores() != self.config.power_state.active_cores() {
+            return Err(SimError::CoreCountChange {
+                from: self.config.power_state.active_cores(),
+                to: new_state.active_cores(),
+            });
+        }
+        self.drain()?;
+
+        let new_net = MotNetwork::new(
+            &self.tech,
+            &self.floorplan,
+            MotTopology::date16(),
+            &MotTimingParams::default(),
+            new_state,
+        )?;
+        let new_cfg = new_net.configuration().clone();
+
+        // Flush every line whose serving bank changes (covers both
+        // gating — bank turns off — and un-gating — folded lines going
+        // home). Dirty lines ride the Miss bus to DRAM.
+        let mut flushed = 0u64;
+        for bank_idx in 0..TOTAL_BANKS {
+            let to_flush: Vec<LineAddr> = self.banks[bank_idx]
+                .cache
+                .resident_addrs()
+                .filter(|line| new_cfg.remap_bank(self.map.home_bank(*line)) != bank_idx)
+                .collect();
+            for line in to_flush {
+                let ev = self.banks[bank_idx]
+                    .cache
+                    .invalidate(line)
+                    .expect("line is resident");
+                let holders: Vec<usize> = ev.payload.sharers().collect();
+                for h in holders {
+                    self.invalidate_l1(h, line);
+                    self.invalidations += 1;
+                }
+                if let Some(owner) = ev.payload.owner() {
+                    self.invalidate_l1(owner, line);
+                    self.invalidations += 1;
+                }
+                if ev.dirty {
+                    self.dram.write_line(ev.addr, ev.data);
+                    self.dram_accesses += 1;
+                    self.bus.enqueue(Transfer {
+                        requester: bank_idx,
+                        tag: WB_TAG,
+                    });
+                    flushed += 1;
+                }
+            }
+        }
+        let _ = flushed;
+        // Let the flush traffic drain over the bus (paper: write back
+        // before power-off).
+        self.drain()?;
+
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            bank.powered = new_cfg.is_bank_active(b);
+        }
+        self.interconnect = Box::new(new_net);
+        self.mot_cfg = Some(new_cfg);
+        self.config.power_state = new_state;
+        Ok(())
+    }
+
+    /// Read-only view of the golden memory (when `check_golden` is on).
+    pub fn golden(&self) -> Option<&GoldenMemory> {
+        self.golden.as_ref()
+    }
+
+    /// Verifies the entire cache hierarchy against the golden memory:
+    /// every L2-resident line and every golden line must agree (L1s are
+    /// kept coherent with L2 by construction). Panics on mismatch.
+    pub fn verify_against_golden(&self) {
+        let Some(golden) = &self.golden else {
+            return;
+        };
+        for (line, want) in golden.iter() {
+            let bank = self.serving_bank(self.map.home_bank(line));
+            let got = match self.banks[bank].cache.peek(line) {
+                Some((v, _)) => v,
+                None => self.dram.read_line(line),
+            };
+            assert_eq!(got, want, "hierarchy lost a store at {line:?}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Run metrics: cycles, latency distributions, energy, EDP.
+
+use mot3d_mot::traits::InterconnectStats;
+use mot3d_phys::power::EnergyBreakdown;
+use mot3d_phys::units::{JouleSeconds, Seconds};
+
+/// Online latency statistics (count / mean / max + coarse histogram).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyStats {
+    count: u64,
+    total: u64,
+    max: u64,
+    /// Buckets: [0-8), [8-16), [16-32), [32-64), [64-128), [128-256), ≥256.
+    buckets: [u64; 7],
+}
+
+impl LatencyStats {
+    /// Records one sample (cycles).
+    pub fn record(&mut self, cycles: u64) {
+        self.count += 1;
+        self.total += cycles;
+        self.max = self.max.max(cycles);
+        let b = match cycles {
+            0..=7 => 0,
+            8..=15 => 1,
+            16..=31 => 2,
+            32..=63 => 3,
+            64..=127 => 4,
+            128..=255 => 5,
+            _ => 6,
+        };
+        self.buckets[b] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean in cycles (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The coarse histogram buckets.
+    pub fn buckets(&self) -> &[u64; 7] {
+        &self.buckets
+    }
+}
+
+/// Everything a run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Human-readable run label (program @ interconnect @ state).
+    pub label: String,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// Execution wall time at the cluster clock.
+    pub exec_time: Seconds,
+    /// Instructions retired over all cores.
+    pub instructions: u64,
+    /// L1 data-cache hits / misses (loads + stores).
+    pub l1_hits: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L2 accesses that hit.
+    pub l2_hits: u64,
+    /// L2 accesses that missed to DRAM.
+    pub l2_misses: u64,
+    /// DRAM accesses (L2 refills + writebacks + instruction refills).
+    pub dram_accesses: u64,
+    /// Round-trip L2 access latency as seen by the cores (inject →
+    /// delivery) — the quantity Fig. 6(a) plots.
+    pub l2_latency: LatencyStats,
+    /// Coherence events: invalidations sent.
+    pub invalidations: u64,
+    /// Coherence events: dirty recalls from owning L1s.
+    pub recalls: u64,
+    /// Interconnect-level statistics.
+    pub interconnect: InterconnectStats,
+    /// Per-component energy.
+    pub energy: EnergyBreakdown,
+}
+
+impl Metrics {
+    /// The paper's power-efficiency metric: cluster energy × execution
+    /// time (Fig. 7(a) / Fig. 8).
+    pub fn edp(&self) -> JouleSeconds {
+        self.energy.edp(self.exec_time)
+    }
+
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// L1 miss ratio.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        let acc = self.l1_hits + self.l1_misses;
+        if acc == 0 {
+            0.0
+        } else {
+            self.l1_misses as f64 / acc as f64
+        }
+    }
+
+    /// L2 miss ratio.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        let acc = self.l2_hits + self.l2_misses;
+        if acc == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / acc as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_track_mean_and_max() {
+        let mut s = LatencyStats::default();
+        for v in [10, 20, 30] {
+            s.record(v);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.max(), 30);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_ranges() {
+        let mut s = LatencyStats::default();
+        for v in [0, 7, 8, 16, 32, 64, 128, 256, 1000] {
+            s.record(v);
+        }
+        assert_eq!(s.buckets(), &[2, 1, 1, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! One-call experiment driver: (program, configuration) → [`Metrics`].
+
+use crate::cluster::Cluster;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::Metrics;
+use mot3d_workloads::{streams, SplashBenchmark, WorkloadSpec};
+
+/// Runs a workload spec on a cluster configuration to completion.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or the run.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_sim::{run_spec, SimConfig};
+/// use mot3d_workloads::SplashBenchmark;
+///
+/// let spec = SplashBenchmark::Fft.spec().scaled(0.002); // tiny run
+/// let m = run_spec(&spec, &SimConfig::date16())?;
+/// assert!(m.cycles > 0);
+/// assert!(m.ipc() > 0.0);
+/// # Ok::<(), mot3d_sim::SimError>(())
+/// ```
+pub fn run_spec(spec: &WorkloadSpec, config: &SimConfig) -> Result<Metrics, SimError> {
+    let active = config.power_state.active_cores();
+    let mut cluster = Cluster::new(*config, streams(spec, active, config.seed))?;
+    cluster.run_to_completion()?;
+    cluster.verify_against_golden();
+    Ok(cluster.metrics(format!(
+        "{} @ {} @ {} @ {}",
+        spec.name,
+        config.interconnect,
+        config.power_state,
+        config.dram
+    )))
+}
+
+/// Runs one of the eight SPLASH-2-style programs at a given length scale
+/// (1.0 = the default experiment length; tests use ≤ 0.01).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`].
+pub fn run_benchmark(
+    bench: SplashBenchmark,
+    scale: f64,
+    config: &SimConfig,
+) -> Result<Metrics, SimError> {
+    run_spec(&bench.spec().scaled(scale), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InterconnectChoice;
+    use mot3d_mot::PowerState;
+    use mot3d_noc::NocTopologyKind;
+
+    fn tiny() -> WorkloadSpec {
+        SplashBenchmark::Fmm.spec().scaled(0.002)
+    }
+
+    #[test]
+    fn mot_run_completes_and_counts() {
+        let m = run_spec(&tiny(), &SimConfig::date16()).unwrap();
+        assert!(m.cycles > 0);
+        assert!(m.instructions > 0);
+        assert!(m.l1_hits + m.l1_misses > 0);
+        assert!(m.l2_latency.count() > 0, "some L1 misses must reach L2");
+        assert!(m.energy.cluster().value() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run_spec(&tiny(), &SimConfig::date16()).unwrap();
+        let b = run_spec(&tiny(), &SimConfig::date16()).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.l2_hits, b.l2_hits);
+        assert_eq!(a.dram_accesses, b.dram_accesses);
+    }
+
+    #[test]
+    fn golden_check_passes_on_mot() {
+        let mut cfg = SimConfig::date16();
+        cfg.check_golden = true;
+        let m = run_spec(&tiny(), &cfg).unwrap();
+        assert!(m.cycles > 0);
+    }
+
+    #[test]
+    fn golden_check_passes_on_every_noc() {
+        for kind in NocTopologyKind::all() {
+            let mut cfg = SimConfig::date16().with_interconnect(InterconnectChoice::Noc(kind));
+            cfg.check_golden = true;
+            let m = run_spec(&tiny(), &cfg).unwrap();
+            assert!(m.cycles > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn golden_check_passes_on_gated_states() {
+        for state in [PowerState::pc16_mb8(), PowerState::pc4_mb32(), PowerState::pc4_mb8()] {
+            let mut cfg = SimConfig::date16().with_power_state(state);
+            cfg.check_golden = true;
+            let m = run_spec(&tiny(), &cfg).unwrap();
+            assert!(m.cycles > 0, "{state}");
+        }
+    }
+
+    #[test]
+    fn noc_rejects_gated_states() {
+        let cfg = SimConfig::date16()
+            .with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d))
+            .with_power_state(PowerState::pc16_mb8());
+        assert!(matches!(
+            run_spec(&tiny(), &cfg),
+            Err(SimError::NocNeedsFullState(_))
+        ));
+    }
+
+    #[test]
+    fn mot_beats_the_mesh_on_l2_latency() {
+        // Fig. 6(a) shape: circuit-switched MoT < packet-switched mesh.
+        let spec = SplashBenchmark::Radix.spec().scaled(0.003);
+        let mot = run_spec(&spec, &SimConfig::date16()).unwrap();
+        let mesh = run_spec(
+            &spec,
+            &SimConfig::date16().with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d)),
+        )
+        .unwrap();
+        assert!(
+            mot.l2_latency.mean() < mesh.l2_latency.mean(),
+            "MoT {} vs mesh {}",
+            mot.l2_latency.mean(),
+            mesh.l2_latency.mean()
+        );
+        assert!(mot.cycles < mesh.cycles, "and on execution time");
+    }
+
+    #[test]
+    fn resident_workload_l2_latency_approaches_table1() {
+        // A small, heavily-reused working set: after warm-up, nearly all
+        // L1 misses hit in L2, so the mean round trip approaches the
+        // derived 12-cycle Full-connection latency (plus light
+        // arbitration contention and the cold-miss tail).
+        let mut spec = SplashBenchmark::Fmm.spec().scaled(0.02);
+        spec.working_set_bytes = 16 * 1024; // heavy reuse: cold misses only
+        spec.locality = 0.5; // plenty of L1 misses, all L2-resident
+        spec.hot_fraction = 0.0; // all traffic hits the small working set
+        spec.mem_ratio = 0.3;
+        let m = run_spec(&spec, &SimConfig::date16()).unwrap();
+        assert!(m.l2_miss_ratio() < 0.3, "l2 miss ratio {}", m.l2_miss_ratio());
+        // Table I: 12-cycle round trips land in the [8, 16) bucket, which
+        // must dominate (the mean still carries the cold-miss DRAM tail).
+        let buckets = m.l2_latency.buckets();
+        let modal = buckets.iter().enumerate().max_by_key(|(_, v)| **v).unwrap().0;
+        assert_eq!(modal, 1, "modal L2 latency bucket {buckets:?}");
+        assert!(m.l2_latency.mean() >= 12.0, "mean {}", m.l2_latency.mean());
+    }
+
+    #[test]
+    fn faster_dram_shortens_runs() {
+        let spec = SplashBenchmark::Radix.spec().scaled(0.002);
+        let slow = run_spec(&spec, &SimConfig::date16()).unwrap();
+        let fast = run_spec(
+            &spec,
+            &SimConfig::date16().with_dram(mot3d_mem::dram::DramKind::Weis3d),
+        )
+        .unwrap();
+        assert!(fast.cycles < slow.cycles);
+    }
+}

@@ -1,0 +1,478 @@
+//! Deterministic per-core operation-stream generation.
+//!
+//! A program with `phases` barrier-separated phases distributes its
+//! `total_ops` instructions over the active cores:
+//!
+//! * each phase starts with the phase's **serial** share, executed by rank
+//!   0 alone (the other ranks go straight to the barrier — Amdahl's law in
+//!   the flesh);
+//! * the **parallel** share splits evenly across ranks, modulated by a
+//!   rotating imbalance factor so a different rank straggles each phase
+//!   (raytrace/volrend-style task imbalance);
+//! * every instruction is a memory operation with probability
+//!   `mem_ratio`, targeting the shared or the rank's private region, and
+//!   sequentially or at random per `locality`;
+//! * rare `IFetchMiss` events model the instruction refills the paper
+//!   routes over the Miss bus.
+//!
+//! Streams are pure functions of `(spec, active_cores, rank, seed)` —
+//! bit-identical on every run, which the determinism tests rely on.
+
+use crate::rng::Xoshiro256;
+use crate::spec::{Op, WorkloadSpec};
+
+/// Line size used for address alignment decisions (Table I: 32 B).
+const LINE: u64 = 32;
+/// Sequential access stride in bytes (word-granular walks).
+const STRIDE: u64 = 8;
+/// Size of the per-core hot set (stack-like region that lives in L1).
+const HOT_BYTES: u64 = 2 * 1024;
+
+/// An extended op stream item: the plain [`Op`]s plus instruction-fetch
+/// misses (which bypass the L2 and ride the Miss bus, §II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOp {
+    /// A regular operation.
+    Op(Op),
+    /// An L1-I miss: refill one line from DRAM over the Miss bus.
+    IFetchMiss(u64),
+}
+
+/// Deterministic operation stream of one core.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_workloads::generator::CoreStream;
+/// use mot3d_workloads::splash::SplashBenchmark;
+///
+/// let spec = SplashBenchmark::Fft.spec().scaled(0.01);
+/// let a: Vec<_> = CoreStream::new(&spec, 4, 0, 42).collect();
+/// let b: Vec<_> = CoreStream::new(&spec, 4, 0, 42).collect();
+/// assert_eq!(a, b); // bit-identical
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreStream {
+    spec: WorkloadSpec,
+    active_cores: usize,
+    rank: usize,
+    rng: Xoshiro256,
+    phase: u32,
+    segment: Segment,
+    ops_left: u64,
+    pending_mem: bool,
+    shared_ptr: u64,
+    private_ptr: u64,
+    hot_ptr: u64,
+    code_ptr: u64,
+    shared_bytes: u64,
+    private_bytes: u64,
+    private_base: u64,
+    hot_base: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    Serial,
+    Parallel,
+    Barrier,
+    Done,
+}
+
+impl CoreStream {
+    /// Builds the stream for `rank` of `active_cores` (ranks index the
+    /// *active* cores, not physical core ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= active_cores`, `active_cores == 0`, or the spec
+    /// fails validation.
+    pub fn new(spec: &WorkloadSpec, active_cores: usize, rank: usize, seed: u64) -> Self {
+        spec.validate();
+        assert!(active_cores > 0, "need at least one active core");
+        assert!(
+            rank < active_cores,
+            "rank {rank} out of {active_cores} active cores"
+        );
+        let shared_bytes =
+            line_floor((spec.working_set_bytes as f64 * spec.shared_fraction) as u64).max(LINE);
+        let remaining = (spec.working_set_bytes as u64).saturating_sub(shared_bytes);
+        let private_bytes = line_floor(remaining / active_cores as u64).max(LINE);
+        let private_base = spec.base_addr + shared_bytes + rank as u64 * private_bytes;
+        // Hot sets live past the working set, one disjoint slice per rank.
+        let hot_base = spec.base_addr
+            + spec.working_set_bytes as u64
+            + LINE
+            + rank as u64 * HOT_BYTES;
+        let mut stream = CoreStream {
+            spec: *spec,
+            active_cores,
+            rank,
+            rng: Xoshiro256::seeded(
+                seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5,
+            ),
+            phase: 0,
+            segment: Segment::Serial,
+            ops_left: 0,
+            pending_mem: false,
+            shared_ptr: 0,
+            private_ptr: 0,
+            hot_ptr: 0,
+            code_ptr: 0,
+            shared_bytes,
+            private_bytes,
+            private_base,
+            hot_base,
+        };
+        stream.enter_phase(0);
+        stream
+    }
+
+    /// The total instruction budget of this rank (serial + parallel over
+    /// all phases), before memory/compute classification.
+    pub fn budget(&self) -> u64 {
+        let mut total = 0;
+        for phase in 0..self.spec.phases {
+            total += self.serial_share(phase) + self.parallel_share(phase);
+        }
+        total
+    }
+
+    fn per_phase_ops(&self) -> u64 {
+        (self.spec.total_ops / self.spec.phases as u64).max(1)
+    }
+
+    fn serial_share(&self, _phase: u32) -> u64 {
+        if self.rank != 0 {
+            return 0;
+        }
+        (self.per_phase_ops() as f64 * self.spec.serial_fraction).round() as u64
+    }
+
+    fn parallel_share(&self, phase: u32) -> u64 {
+        let parallel =
+            self.per_phase_ops() - (self.per_phase_ops() as f64 * self.spec.serial_fraction).round() as u64;
+        let base = parallel as f64 / self.active_cores as f64;
+        // Rotating imbalance: a different rank straggles each phase.
+        let z = if self.active_cores == 1 {
+            0.0
+        } else {
+            let position = (self.rank + phase as usize) % self.active_cores;
+            2.0 * position as f64 / (self.active_cores - 1) as f64 - 1.0
+        };
+        (base * (1.0 + self.spec.imbalance * z)).round().max(0.0) as u64
+    }
+
+    fn enter_phase(&mut self, phase: u32) {
+        self.phase = phase;
+        let serial = self.serial_share(phase);
+        if serial > 0 {
+            self.segment = Segment::Serial;
+            self.ops_left = serial;
+        } else {
+            self.segment = Segment::Parallel;
+            self.ops_left = self.parallel_share(phase);
+        }
+        self.pending_mem = false;
+    }
+
+    fn next_address(&mut self) -> u64 {
+        // Hot-set accesses (stack/scalars): tiny per-core region, L1-bound.
+        if self.rng.chance(self.spec.hot_fraction) {
+            self.hot_ptr = (self.hot_ptr + STRIDE) % HOT_BYTES;
+            return self.hot_base + self.hot_ptr;
+        }
+        let use_shared = self.rng.chance(self.spec.shared_fraction);
+        let (base, size, ptr) = if use_shared {
+            (self.spec.base_addr, self.shared_bytes, &mut self.shared_ptr)
+        } else {
+            (self.private_base, self.private_bytes, &mut self.private_ptr)
+        };
+        if self.rng.chance(self.spec.locality) {
+            *ptr = (*ptr + STRIDE) % size;
+            base + *ptr
+        } else {
+            let off = self.rng.next_below(size / STRIDE) * STRIDE;
+            *ptr = off;
+            base + off
+        }
+    }
+
+    fn memory_op(&mut self) -> Op {
+        let addr = self.next_address();
+        if self.rng.chance(self.spec.write_fraction) {
+            Op::Store(addr)
+        } else {
+            Op::Load(addr)
+        }
+    }
+}
+
+impl Iterator for CoreStream {
+    type Item = StreamOp;
+
+    fn next(&mut self) -> Option<StreamOp> {
+        loop {
+            match self.segment {
+                Segment::Done => return None,
+                Segment::Barrier => {
+                    let id = self.phase;
+                    if self.phase + 1 < self.spec.phases {
+                        let next = self.phase + 1;
+                        self.enter_phase(next);
+                    } else {
+                        self.segment = Segment::Done;
+                    }
+                    return Some(StreamOp::Op(Op::Barrier(id)));
+                }
+                Segment::Serial | Segment::Parallel => {
+                    if self.ops_left == 0 {
+                        if self.segment == Segment::Serial {
+                            self.segment = Segment::Parallel;
+                            self.ops_left = self.parallel_share(self.phase);
+                            continue;
+                        }
+                        self.segment = Segment::Barrier;
+                        continue;
+                    }
+                    // Rare instruction-fetch miss, charged per instruction.
+                    if self.rng.chance(self.spec.ifetch_miss_rate) {
+                        self.code_ptr = (self.code_ptr + LINE) % (64 * 1024);
+                        let addr = self.spec.base_addr - 0x10_0000 + self.code_ptr;
+                        return Some(StreamOp::IFetchMiss(addr));
+                    }
+                    if self.pending_mem {
+                        self.pending_mem = false;
+                        self.ops_left -= 1;
+                        return Some(StreamOp::Op(self.memory_op()));
+                    }
+                    // Geometric run of compute ops until the next memory op.
+                    let p = self.spec.mem_ratio;
+                    let run = if p <= 0.0 {
+                        self.ops_left
+                    } else {
+                        let u = self.rng.next_f64().max(1e-18);
+                        ((u.ln() / (1.0 - p).ln()).floor() as u64).min(self.ops_left)
+                    };
+                    if run == 0 {
+                        self.pending_mem = false;
+                        self.ops_left -= 1;
+                        return Some(StreamOp::Op(self.memory_op()));
+                    }
+                    self.ops_left -= run;
+                    self.pending_mem = self.ops_left > 0;
+                    return Some(StreamOp::Op(Op::Compute(run.min(u32::MAX as u64) as u32)));
+                }
+            }
+        }
+    }
+}
+
+/// Builds the streams for every rank of an `active_cores`-way run.
+pub fn streams(spec: &WorkloadSpec, active_cores: usize, seed: u64) -> Vec<CoreStream> {
+    (0..active_cores)
+        .map(|rank| CoreStream::new(spec, active_cores, rank, seed))
+        .collect()
+}
+
+fn line_floor(bytes: u64) -> u64 {
+    bytes / LINE * LINE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splash::SplashBenchmark;
+
+    fn small(bench: SplashBenchmark) -> WorkloadSpec {
+        bench.spec().scaled(0.01)
+    }
+
+    /// Counts instructions (Compute(n) = n) and memory ops in a stream.
+    fn census(stream: CoreStream) -> (u64, u64, u64, u64) {
+        let (mut insns, mut mems, mut barriers, mut stores) = (0u64, 0u64, 0u64, 0u64);
+        for op in stream {
+            match op {
+                StreamOp::Op(Op::Compute(n)) => insns += n as u64,
+                StreamOp::Op(Op::Load(_)) => {
+                    insns += 1;
+                    mems += 1;
+                }
+                StreamOp::Op(Op::Store(_)) => {
+                    insns += 1;
+                    mems += 1;
+                    stores += 1;
+                }
+                StreamOp::Op(Op::Barrier(_)) => barriers += 1,
+                StreamOp::IFetchMiss(_) => {}
+            }
+        }
+        (insns, mems, barriers, stores)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let spec = small(SplashBenchmark::Radix);
+        let a: Vec<_> = CoreStream::new(&spec, 8, 3, 99).collect();
+        let b: Vec<_> = CoreStream::new(&spec, 8, 3, 99).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_ranks_differ() {
+        let spec = small(SplashBenchmark::Radix);
+        let a: Vec<_> = CoreStream::new(&spec, 8, 0, 99).collect();
+        let b: Vec<_> = CoreStream::new(&spec, 8, 1, 99).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_rank_hits_every_barrier_once() {
+        let spec = small(SplashBenchmark::Fmm);
+        for rank in 0..4 {
+            let barriers: Vec<u32> = CoreStream::new(&spec, 4, rank, 7)
+                .filter_map(|op| match op {
+                    StreamOp::Op(Op::Barrier(id)) => Some(id),
+                    _ => None,
+                })
+                .collect();
+            let expect: Vec<u32> = (0..spec.phases).collect();
+            assert_eq!(barriers, expect, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn instruction_budget_is_respected() {
+        let spec = small(SplashBenchmark::Fft);
+        for rank in 0..4 {
+            let s = CoreStream::new(&spec, 4, rank, 5);
+            let budget = s.budget();
+            let (insns, ..) = census(s);
+            assert_eq!(insns, budget, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn serial_work_lands_on_rank_zero_only() {
+        let spec = small(SplashBenchmark::Cholesky); // serial_fraction 0.34
+        let s0 = CoreStream::new(&spec, 4, 0, 5);
+        let s1 = CoreStream::new(&spec, 4, 1, 5);
+        let b0 = s0.budget();
+        let b1 = s1.budget();
+        assert!(
+            b0 as f64 > b1 as f64 * 1.8,
+            "rank 0 must carry the serial work: {b0} vs {b1}"
+        );
+    }
+
+    #[test]
+    fn scalable_programs_split_evenly() {
+        let spec = small(SplashBenchmark::Radix); // serial 0.05, imb 0.04
+        let budgets: Vec<u64> = (0..8)
+            .map(|r| CoreStream::new(&spec, 8, r, 5).budget())
+            .collect();
+        let min = *budgets.iter().min().unwrap() as f64;
+        let max = *budgets.iter().max().unwrap() as f64;
+        assert!(max / min < 1.6, "scalable split too skewed: {budgets:?}");
+    }
+
+    #[test]
+    fn memory_ratio_tracks_spec() {
+        let spec = small(SplashBenchmark::OceanContiguous); // mem 0.40
+        let (insns, mems, _, _) = census(CoreStream::new(&spec, 4, 2, 5));
+        let ratio = mems as f64 / insns as f64;
+        assert!(
+            (ratio - spec.mem_ratio).abs() < 0.05,
+            "memory ratio {ratio} vs spec {}",
+            spec.mem_ratio
+        );
+    }
+
+    #[test]
+    fn write_fraction_tracks_spec() {
+        let spec = small(SplashBenchmark::Radix); // writes 0.45
+        let (_, mems, _, stores) = census(CoreStream::new(&spec, 4, 1, 5));
+        let ratio = stores as f64 / mems as f64;
+        assert!(
+            (ratio - spec.write_fraction).abs() < 0.06,
+            "write fraction {ratio}"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_inside_working_set_plus_hot_slices() {
+        let spec = small(SplashBenchmark::Fft);
+        let cores = 4u64;
+        let hot_end =
+            spec.base_addr + spec.working_set_bytes as u64 + LINE + cores * HOT_BYTES + LINE;
+        for op in CoreStream::new(&spec, 4, 3, 5) {
+            if let StreamOp::Op(Op::Load(a) | Op::Store(a)) = op {
+                assert!(a >= spec.base_addr);
+                assert!(a < hot_end, "address {a:#x} outside footprint");
+            }
+        }
+    }
+
+    #[test]
+    fn hot_set_gives_high_l1_style_reuse() {
+        // With hot_fraction 0.5, at least a third of memory ops revisit a
+        // tiny region that any L1 retains.
+        let spec = small(SplashBenchmark::Fft);
+        let mut hot = 0u64;
+        let mut total = 0u64;
+        let hot_lo = spec.base_addr + spec.working_set_bytes as u64;
+        for op in CoreStream::new(&spec, 4, 1, 5) {
+            if let StreamOp::Op(Op::Load(a) | Op::Store(a)) = op {
+                total += 1;
+                if a >= hot_lo {
+                    hot += 1;
+                }
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!(
+            (frac - spec.hot_fraction).abs() < 0.08,
+            "hot fraction {frac} vs spec {}",
+            spec.hot_fraction
+        );
+    }
+
+    #[test]
+    fn private_regions_do_not_collide() {
+        let spec = small(SplashBenchmark::WaterNsquared);
+        let collect = |rank| -> std::collections::HashSet<u64> {
+            CoreStream::new(&spec, 4, rank, 5)
+                .filter_map(|op| match op {
+                    StreamOp::Op(Op::Load(a) | Op::Store(a)) => Some(a / LINE),
+                    _ => None,
+                })
+                .collect()
+        };
+        let shared_lines =
+            (spec.working_set_bytes as f64 * spec.shared_fraction) as u64 / LINE + 1;
+        let a = collect(0);
+        let b = collect(1);
+        let shared_base_line = spec.base_addr / LINE;
+        for line in a.intersection(&b) {
+            assert!(
+                *line < shared_base_line + shared_lines,
+                "private lines overlapped across ranks: {line:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_helper_builds_all_ranks() {
+        let spec = small(SplashBenchmark::Fmm);
+        let all = streams(&spec, 4, 1);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn rank_out_of_range_panics() {
+        let spec = small(SplashBenchmark::Fmm);
+        CoreStream::new(&spec, 4, 4, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! How Table I's 12/9/9/7 cycles fall out of the physics: walk the
+//! Elmore/repeated-wire/TSV derivation term by term.
+//!
+//! ```text
+//! cargo run --example derive_latency
+//! ```
+
+use mot3d::mot::latency::{MotLatency, MotTimingParams};
+use mot3d::mot::topology::MotTopology;
+use mot3d::phys::rc::{optimal_segment_length, RepeatedWire};
+use mot3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::lp45();
+    let fp = Floorplan::date16();
+    let topo = MotTopology::date16();
+    let params = MotTimingParams::default();
+
+    println!("node: {} at {:.1} GHz", tech.name, tech.clock.ghz());
+    println!(
+        "repeated wire: {:.0} µm repeater spacing, {:.3} ns/mm",
+        optimal_segment_length(&tech).um(),
+        RepeatedWire::new(&tech, mot3d::phys::units::Meters::from_mm(1.0))
+            .delay()
+            .ns()
+    );
+    println!();
+
+    for state in PowerState::date16_states() {
+        let path = fp.longest_path(state.active_cores(), state.active_banks())?;
+        let wire = RepeatedWire::new(&tech, path.horizontal);
+        let tsv = fp
+            .tsv
+            .hop_delay_with_driver(&tech, path.vertical_hops, params.tsv_driver);
+        let lat = MotLatency::derive(&tech, &fp, topo, &params, state)?;
+
+        println!("{state}:");
+        println!(
+            "  longest link: {:.2} mm horizontal + {} TSV hop(s) ({:.0} µm)",
+            path.horizontal.mm(),
+            path.vertical_hops,
+            path.vertical.um()
+        );
+        println!(
+            "  wire {:.2} ns ({} repeaters) + switches {:.2} ns + TSV {:.2} ns",
+            wire.delay().ns(),
+            wire.repeater_count(),
+            (tech.switch.routing_switch_delay + tech.switch.reconfig_mux_delay).ns()
+                * topo.routing_levels() as f64
+                + tech.switch.arbitration_switch_delay.ns()
+                    * (state.active_cores().trailing_zeros() as f64),
+            tsv.ns(),
+        );
+        println!(
+            "  → request {} + bank {} + response {} = {} cycles (Table I)",
+            lat.request_cycles,
+            lat.bank_cycles,
+            lat.response_cycles,
+            lat.round_trip()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Fig. 6 in miniature: one memory-heavy program on all four 3-D
+//! interconnects.
+//!
+//! ```text
+//! cargo run --release --example interconnect_comparison
+//! ```
+
+use mot3d::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = SplashBenchmark::Radix; // the most memory-intensive program
+    let scale = 0.02;
+    let interconnects = [
+        InterconnectChoice::Noc(NocTopologyKind::Mesh3d),
+        InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh),
+        InterconnectChoice::Noc(NocTopologyKind::HybridBusTree),
+        InterconnectChoice::Mot,
+    ];
+
+    println!("{bench} across the four 3-D interconnects (Full connection, 200 ns DRAM):");
+    println!(
+        "{:<22} {:>10} {:>14} {:>16}",
+        "interconnect", "cycles", "mean L2 (cyc)", "net energy (µJ)"
+    );
+    let mut baseline = None;
+    for ic in interconnects {
+        let m = run_benchmark(bench, scale, &SimConfig::date16().with_interconnect(ic))?;
+        let vs = match baseline {
+            None => {
+                baseline = Some(m.cycles);
+                String::new()
+            }
+            Some(base) => format!("  ({:+.1}% vs mesh)", 100.0 * (m.cycles as f64 / base as f64 - 1.0)),
+        };
+        println!(
+            "{:<22} {:>10} {:>14.1} {:>16.2}{vs}",
+            ic.to_string(),
+            m.cycles,
+            m.l2_latency.mean(),
+            m.energy.interconnect.value() * 1e6,
+        );
+    }
+    println!();
+    println!("The circuit-switched MoT avoids hop-by-hop packet relaying entirely:");
+    println!("one arbitration, one combinational traversal, Table I latency.");
+    Ok(())
+}

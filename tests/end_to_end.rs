@@ -1,0 +1,179 @@
+//! Cross-crate end-to-end tests: the full stack from physical models to
+//! simulated benchmarks behaves as the paper describes.
+
+use mot3d::prelude::*;
+
+/// Small but meaningful run length for CI.
+const SCALE: f64 = 0.01;
+
+#[test]
+fn table1_latencies_reproduce_exactly() {
+    let expect = [
+        (PowerState::full(), 12),
+        (PowerState::pc16_mb8(), 9),
+        (PowerState::pc4_mb32(), 9),
+        (PowerState::pc4_mb8(), 7),
+    ];
+    for (state, cycles) in expect {
+        let net = MotNetwork::date16(state).unwrap();
+        assert_eq!(net.latency().round_trip(), cycles, "{state}");
+    }
+}
+
+#[test]
+fn every_interconnect_runs_every_benchmark() {
+    for bench in SplashBenchmark::all() {
+        for ic in [
+            InterconnectChoice::Mot,
+            InterconnectChoice::Noc(NocTopologyKind::Mesh3d),
+            InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh),
+            InterconnectChoice::Noc(NocTopologyKind::HybridBusTree),
+        ] {
+            let m = run_benchmark(
+                bench,
+                0.002,
+                &SimConfig::date16().with_interconnect(ic),
+            )
+            .unwrap_or_else(|e| panic!("{bench} on {ic}: {e}"));
+            assert!(m.cycles > 0, "{bench} on {ic}");
+            assert!(m.instructions > 0);
+            assert!(m.energy.cluster().value() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn every_power_state_runs_with_golden_checks() {
+    for state in PowerState::date16_states() {
+        let mut cfg = SimConfig::date16().with_power_state(state);
+        cfg.check_golden = true;
+        let m = run_benchmark(SplashBenchmark::Volrend, SCALE, &cfg)
+            .unwrap_or_else(|e| panic!("{state}: {e}"));
+        assert!(m.cycles > 0, "{state}");
+    }
+}
+
+#[test]
+fn full_stack_is_deterministic() {
+    let cfg = SimConfig::date16();
+    let a = run_benchmark(SplashBenchmark::Raytrace, SCALE, &cfg).unwrap();
+    let b = run_benchmark(SplashBenchmark::Raytrace, SCALE, &cfg).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.l1_misses, b.l1_misses);
+    assert_eq!(a.l2_misses, b.l2_misses);
+    assert_eq!(a.dram_accesses, b.dram_accesses);
+    assert_eq!(a.energy, b.energy);
+}
+
+#[test]
+fn mot_outperforms_every_packet_switched_baseline() {
+    // Fig. 6's qualitative claim on a memory-heavy program.
+    let bench = SplashBenchmark::Radix;
+    let mot = run_benchmark(bench, SCALE, &SimConfig::date16()).unwrap();
+    for kind in NocTopologyKind::all() {
+        let noc = run_benchmark(
+            bench,
+            SCALE,
+            &SimConfig::date16().with_interconnect(InterconnectChoice::Noc(kind)),
+        )
+        .unwrap();
+        assert!(
+            mot.cycles < noc.cycles,
+            "{kind}: MoT {} vs {} cycles",
+            mot.cycles,
+            noc.cycles
+        );
+        assert!(
+            mot.l2_latency.mean() < noc.l2_latency.mean(),
+            "{kind}: L2 latency"
+        );
+    }
+}
+
+#[test]
+fn pc4_mb8_cuts_edp_on_a_poorly_scaling_program() {
+    // Fig. 7(a)'s qualitative claim. fft has a large serial fraction, so
+    // 4 cores cost little time and save much energy.
+    let bench = SplashBenchmark::Fft;
+    let full = run_benchmark(bench, SCALE, &SimConfig::date16()).unwrap();
+    let gated = run_benchmark(
+        bench,
+        SCALE,
+        &SimConfig::date16().with_power_state(PowerState::pc4_mb8()),
+    )
+    .unwrap();
+    assert!(
+        gated.edp().value() < full.edp().value() * 0.85,
+        "PC4-MB8 must cut fft's EDP by >15%: {} vs {}",
+        gated.edp().value(),
+        full.edp().value()
+    );
+}
+
+#[test]
+fn pc4_hurts_a_scalable_program() {
+    // The flip side that makes reconfigurability necessary.
+    let bench = SplashBenchmark::OceanContiguous;
+    let full = run_benchmark(bench, SCALE, &SimConfig::date16()).unwrap();
+    let gated = run_benchmark(
+        bench,
+        SCALE,
+        &SimConfig::date16().with_power_state(PowerState::pc4_mb32()),
+    )
+    .unwrap();
+    assert!(
+        gated.edp().value() > full.edp().value(),
+        "PC4 must hurt ocean's EDP: {} vs {}",
+        gated.edp().value(),
+        full.edp().value()
+    );
+    assert!(gated.cycles > full.cycles * 2, "and slow it down a lot");
+}
+
+#[test]
+fn faster_dram_amplifies_bank_gating_benefit() {
+    // Fig. 8's trend on one benchmark: EDP ratio (PC16-MB8 / Full) drops
+    // as DRAM latency drops.
+    let bench = SplashBenchmark::Volrend;
+    let mut ratios = Vec::new();
+    for dram in [DramKind::OffChipDdr3, DramKind::WideIo, DramKind::Weis3d] {
+        let cfg = SimConfig::date16().with_dram(dram);
+        let full = run_benchmark(bench, SCALE, &cfg).unwrap();
+        let gated = run_benchmark(
+            bench,
+            SCALE,
+            &cfg.with_power_state(PowerState::pc16_mb8()),
+        )
+        .unwrap();
+        ratios.push(gated.edp().value() / full.edp().value());
+    }
+    assert!(
+        ratios[2] <= ratios[0] + 1e-9,
+        "gating payoff must not shrink with faster DRAM: {ratios:?}"
+    );
+}
+
+#[test]
+fn energy_breakdown_components_are_all_populated() {
+    let m = run_benchmark(SplashBenchmark::Fmm, SCALE, &SimConfig::date16()).unwrap();
+    assert!(m.energy.cores.value() > 0.0);
+    assert!(m.energy.l1.value() > 0.0);
+    assert!(m.energy.l2.value() > 0.0);
+    assert!(m.energy.interconnect.value() > 0.0);
+    assert!(m.energy.dram.value() > 0.0);
+    // Cluster EDP excludes DRAM (the paper's definition).
+    assert!(m.energy.edp_with_dram(m.exec_time) > m.edp());
+}
+
+#[test]
+fn prelude_covers_the_common_workflow() {
+    // The quickstart path compiles and runs through the prelude alone.
+    let tech = Technology::lp45();
+    assert_eq!(tech.clock.ghz(), 1.0);
+    let fp = Floorplan::date16();
+    assert_eq!(fp.total_banks, 32);
+    let spec: WorkloadSpec = SplashBenchmark::WaterNsquared.spec().scaled(0.001);
+    let m = run_spec(&spec, &SimConfig::date16()).unwrap();
+    assert!(m.ipc() > 0.0);
+}
