@@ -23,7 +23,9 @@ fn bench_elmore(c: &mut Criterion) {
         });
     }
     let (tree, _) = chain(1024);
-    g.bench_function("all_sinks_1024", |b| b.iter(|| black_box(tree.elmore_delays())));
+    g.bench_function("all_sinks_1024", |b| {
+        b.iter(|| black_box(tree.elmore_delays()))
+    });
     let tech = Technology::lp45();
     g.bench_function("repeated_wire_7_5mm", |b| {
         b.iter(|| black_box(RepeatedWire::new(&tech, Meters::from_mm(7.5))))

@@ -3,7 +3,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mot3d_mot::power_state::PowerState;
 use mot3d_mot::reconfig::MotConfiguration;
-use mot3d_mot::switch::{RoutingMode, RoutingSwitch, Port};
+use mot3d_mot::switch::{Port, RoutingMode, RoutingSwitch};
 use mot3d_mot::topology::MotTopology;
 
 fn bench_switch(c: &mut Criterion) {
@@ -27,9 +27,7 @@ fn bench_switch(c: &mut Criterion) {
     });
     g.bench_function("build_configuration", |b| {
         b.iter(|| {
-            black_box(
-                MotConfiguration::new(MotTopology::date16(), PowerState::pc4_mb8()).unwrap(),
-            )
+            black_box(MotConfiguration::new(MotTopology::date16(), PowerState::pc4_mb8()).unwrap())
         })
     });
     g.finish();

@@ -1,8 +1,8 @@
 //! Whole-cluster simulation throughput (cycles/second of simulated time).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use mot3d_sim::{run_benchmark, InterconnectChoice, SimConfig};
 use mot3d_noc::NocTopologyKind;
+use mot3d_sim::{run_benchmark, InterconnectChoice, SimConfig};
 use mot3d_workloads::SplashBenchmark;
 
 fn bench_sim(c: &mut Criterion) {
@@ -10,14 +10,12 @@ fn bench_sim(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fmm_tiny_mot", |b| {
         b.iter(|| {
-            black_box(
-                run_benchmark(SplashBenchmark::Fmm, 0.002, &SimConfig::date16()).unwrap(),
-            )
+            black_box(run_benchmark(SplashBenchmark::Fmm, 0.002, &SimConfig::date16()).unwrap())
         })
     });
     g.bench_function("fmm_tiny_mesh", |b| {
-        let cfg = SimConfig::date16()
-            .with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d));
+        let cfg =
+            SimConfig::date16().with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d));
         b.iter(|| black_box(run_benchmark(SplashBenchmark::Fmm, 0.002, &cfg).unwrap()))
     });
     g.bench_function("radix_tiny_gated", |b| {

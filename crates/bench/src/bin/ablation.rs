@@ -23,7 +23,10 @@ fn main() {
     println!("== Ablation 1: full power-state grid (EDP normalised to Full) ==");
     for bench in [SplashBenchmark::Fft, SplashBenchmark::OceanContiguous] {
         println!("\n{bench}:");
-        println!("{:<12} {:>10} {:>12} {:>12}", "state", "cycles", "EDP ratio", "time ratio");
+        println!(
+            "{:<12} {:>10} {:>12} {:>12}",
+            "state", "cycles", "EDP ratio", "time ratio"
+        );
         let full = run_benchmark(bench, scale.scale, &SimConfig::date16()).unwrap();
         for cores in [16usize, 8, 4] {
             for banks in [32usize, 16, 8] {
@@ -42,7 +45,10 @@ fn main() {
     }
 
     println!("\n== Ablation 2: flat vs open-page DRAM (Full connection) ==");
-    println!("{:<18} {:>12} {:>12} {:>8}", "benchmark", "flat", "open-page", "delta");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8}",
+        "benchmark", "flat", "open-page", "delta"
+    );
     for bench in SplashBenchmark::all() {
         let flat = run_benchmark(bench, scale.scale, &SimConfig::date16()).unwrap();
         let mut cfg = SimConfig::date16();

@@ -1,7 +1,7 @@
 //! Runs every experiment and prints an EXPERIMENTS.md-ready report.
 
-use mot3d_bench::{fig5, fig6, fig7, fig8, table1, ExperimentScale};
 use mot3d_bench::report;
+use mot3d_bench::{fig5, fig6, fig7, fig8, table1, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();

@@ -4,7 +4,10 @@ use mot3d_bench::{fig6, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("running Fig. 6 at scale {} (set MOT3D_SCALE to change)...", scale.scale);
+    eprintln!(
+        "running Fig. 6 at scale {} (set MOT3D_SCALE to change)...",
+        scale.scale
+    );
     let rows = fig6(scale);
     print!("{}", mot3d_bench::report::render_fig6(&rows));
 }

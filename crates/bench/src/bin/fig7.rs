@@ -4,7 +4,10 @@ use mot3d_bench::{fig7, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("running Fig. 7 at scale {} (set MOT3D_SCALE to change)...", scale.scale);
+    eprintln!(
+        "running Fig. 7 at scale {} (set MOT3D_SCALE to change)...",
+        scale.scale
+    );
     let rows = fig7(scale);
     print!("{}", mot3d_bench::report::render_fig7(&rows, "200 ns"));
     println!();

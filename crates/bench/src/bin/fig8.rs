@@ -4,9 +4,18 @@ use mot3d_bench::{fig8, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("running Fig. 8 at scale {} (set MOT3D_SCALE to change)...", scale.scale);
+    eprintln!(
+        "running Fig. 8 at scale {} (set MOT3D_SCALE to change)...",
+        scale.scale
+    );
     let r = fig8(scale);
-    print!("{}", mot3d_bench::report::render_fig7(&r.at_63ns, "63 ns (Wide I/O)"));
+    print!(
+        "{}",
+        mot3d_bench::report::render_fig7(&r.at_63ns, "63 ns (Wide I/O)")
+    );
     println!();
-    print!("{}", mot3d_bench::report::render_fig7(&r.at_42ns, "42 ns (Weis 3-D)"));
+    print!(
+        "{}",
+        mot3d_bench::report::render_fig7(&r.at_42ns, "42 ns (Weis 3-D)")
+    );
 }

@@ -7,9 +7,17 @@ use std::fmt::Write as _;
 pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Table I — derived L2 cache latencies (cycles @ 1 GHz)");
-    let _ = writeln!(out, "{:<16} {:>6} {:>10} {:>8}", "state", "banks", "derived", "paper");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>10} {:>8}",
+        "state", "banks", "derived", "paper"
+    );
     for r in rows {
-        let mark = if r.latency_cycles == r.paper_cycles { "=" } else { "!" };
+        let mark = if r.latency_cycles == r.paper_cycles {
+            "="
+        } else {
+            "!"
+        };
         let _ = writeln!(
             out,
             "{:<16} {:>6} {:>10} {:>7}{}",
@@ -71,9 +79,13 @@ pub fn render_fig6(rows: &[Fig6Row]) -> String {
     }
     let _ = writeln!(out);
     let n = rows.len() as f64;
-    for (i, base) in ["True 3-D Mesh", "3-D Hybrid Bus-Mesh", "3-D Hybrid Bus-Tree"]
-        .iter()
-        .enumerate()
+    for (i, base) in [
+        "True 3-D Mesh",
+        "3-D Hybrid Bus-Mesh",
+        "3-D Hybrid Bus-Tree",
+    ]
+    .iter()
+    .enumerate()
     {
         let mean: f64 = rows.iter().map(|r| r.mot_reduction_vs(i)).sum::<f64>() / n;
         let paper = [13.01, 11.16, 13.34][i];

@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn single_transfer_takes_occupancy_cycles() {
         let mut bus = MissBus::new(2, 4);
-        bus.enqueue(Transfer { requester: 0, tag: 1 });
+        bus.enqueue(Transfer {
+            requester: 0,
+            tag: 1,
+        });
         let done = drain(&mut bus, 10);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].0, 4); // granted at 0, completes at 4
@@ -158,7 +161,10 @@ mod tests {
         let mut bus = MissBus::new(2, 2);
         for tag in 0..3 {
             bus.enqueue(Transfer { requester: 0, tag });
-            bus.enqueue(Transfer { requester: 1, tag: 100 + tag });
+            bus.enqueue(Transfer {
+                requester: 1,
+                tag: 100 + tag,
+            });
         }
         let done = drain(&mut bus, 20);
         let order: Vec<usize> = done.iter().map(|(_, t)| t.requester).collect();
@@ -173,7 +179,10 @@ mod tests {
         for tag in 0..10 {
             bus.enqueue(Transfer { requester: 0, tag });
         }
-        bus.enqueue(Transfer { requester: 1, tag: 999 });
+        bus.enqueue(Transfer {
+            requester: 1,
+            tag: 999,
+        });
         let done = drain(&mut bus, 30);
         let pos = done
             .iter()
@@ -214,7 +223,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_unknown_requester() {
         let mut bus = MissBus::new(2, 1);
-        bus.enqueue(Transfer { requester: 5, tag: 0 });
+        bus.enqueue(Transfer {
+            requester: 5,
+            tag: 0,
+        });
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl CacheConfig {
     /// where required, or inconsistent.
     pub fn validate(&self) -> Result<(), CacheConfigError> {
         if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
-            return Err(CacheConfigError::NotPowerOfTwo("line_bytes", self.line_bytes));
+            return Err(CacheConfigError::NotPowerOfTwo(
+                "line_bytes",
+                self.line_bytes,
+            ));
         }
         if self.associativity == 0 {
             return Err(CacheConfigError::Zero("associativity"));
@@ -120,7 +123,10 @@ impl fmt::Display for CacheConfigError {
                 write!(f, "{field} must be a power of two, got {v}")
             }
             CacheConfigError::Zero(field) => write!(f, "{field} must be non-zero"),
-            CacheConfigError::CapacityNotDivisible { capacity, set_bytes } => write!(
+            CacheConfigError::CapacityNotDivisible {
+                capacity,
+                set_bytes,
+            } => write!(
                 f,
                 "capacity {capacity} B does not divide into {set_bytes} B sets"
             ),
@@ -536,8 +542,7 @@ mod tests {
         // Two lines differing only in bank bits map to the same set of an
         // L2 bank (they'd live in different banks normally; under the
         // power-gating fold they coexist via distinct full tags).
-        let mut c: SetAssocCache<()> =
-            SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
+        let mut c: SetAssocCache<()> = SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
         let a = LineAddr(0b00000); // home bank 0
         let b = LineAddr(0b00010); // home bank 2
         c.fill(a, 1, false);

@@ -77,7 +77,12 @@ fn check_cache_against_golden(policy: ReplacementPolicy, ops: &[Op]) -> Result<(
         }
     }
     for (line, want) in golden.iter() {
-        prop_assert_eq!(backing.read(line), want, "final state mismatch at {:?}", line);
+        prop_assert_eq!(
+            backing.read(line),
+            want,
+            "final state mismatch at {:?}",
+            line
+        );
     }
     Ok(())
 }

@@ -93,7 +93,8 @@ impl MotEnergyModel {
 
         // Leakage of the powered portion.
         let counts = cfg.counts();
-        let wire_total = floorplan.active_wire_estimate(state.active_cores(), state.active_banks())?;
+        let wire_total =
+            floorplan.active_wire_estimate(state.active_cores(), state.active_banks())?;
         let repeaters = (wire_total.value() / optimal_segment_length(tech).value()).ceil();
         let leakage = tech.switch.routing_switch_leakage * counts.routing_switches as f64
             + tech.switch.arbitration_switch_leakage * counts.arbitration_cells as f64
@@ -170,12 +171,8 @@ mod tests {
         // Shorter wires in the folded states make each transaction cheaper.
         let full = model(PowerState::full());
         let gated = model(PowerState::pc4_mb8());
-        assert!(
-            gated.request_energy(ReqKind::ReadLine) < full.request_energy(ReqKind::ReadLine)
-        );
-        assert!(
-            gated.response_energy(ReqKind::ReadLine) < full.response_energy(ReqKind::ReadLine)
-        );
+        assert!(gated.request_energy(ReqKind::ReadLine) < full.request_energy(ReqKind::ReadLine));
+        assert!(gated.response_energy(ReqKind::ReadLine) < full.response_energy(ReqKind::ReadLine));
     }
 
     #[test]

@@ -176,7 +176,10 @@ mod tests {
         let (fabric, cfg) = fabric_for(PowerState::pc4_mb8());
         for home in 0..32 {
             let phys = fabric.route(home).expect("control plane is closed");
-            assert!(cfg.is_bank_active(phys), "home {home} landed on gated {phys}");
+            assert!(
+                cfg.is_bank_active(phys),
+                "home {home} landed on gated {phys}"
+            );
         }
     }
 }

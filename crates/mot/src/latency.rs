@@ -91,8 +91,7 @@ impl MotLatency {
             .tsv
             .hop_delay_with_driver(tech, path.vertical_hops, params.tsv_driver);
 
-        let per_routing_switch =
-            tech.switch.routing_switch_delay + tech.switch.reconfig_mux_delay;
+        let per_routing_switch = tech.switch.routing_switch_delay + tech.switch.reconfig_mux_delay;
         let routing = per_routing_switch * topology.routing_levels() as f64;
         let arb_levels = (state.active_cores().trailing_zeros()) as f64;
         let arbitration = tech.switch.arbitration_switch_delay * arb_levels;

@@ -130,7 +130,11 @@ impl PowerState {
     /// # Errors
     ///
     /// Returns [`PowerStateError::ExceedsTotal`] when it does not.
-    pub fn check_fits(&self, total_cores: usize, total_banks: usize) -> Result<(), PowerStateError> {
+    pub fn check_fits(
+        &self,
+        total_cores: usize,
+        total_banks: usize,
+    ) -> Result<(), PowerStateError> {
         if self.active_cores > total_cores {
             return Err(PowerStateError::ExceedsTotal(
                 "cores",

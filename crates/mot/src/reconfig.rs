@@ -137,10 +137,8 @@ impl MotConfiguration {
         if state.active_cores() < 2 && topology.cores() > 1 {
             return Err(ReconfigError::TooFewActive("cores"));
         }
-        let folded_bank_bits =
-            folded_bits(topology.banks(), state.active_banks());
-        let folded_core_bits =
-            folded_bits(topology.cores(), state.active_cores());
+        let folded_bank_bits = folded_bits(topology.banks(), state.active_banks());
+        let folded_core_bits = folded_bits(topology.cores(), state.active_cores());
         let mut cfg = MotConfiguration {
             topology,
             state,
@@ -215,7 +213,11 @@ impl MotConfiguration {
             // Forced inward: left half of the die (MSB 0) folds toward
             // port 1, right half toward port 0.
             let msb_of_subtree = span.start >> (self.topology.routing_levels() - 1);
-            let inward = if msb_of_subtree == 0 { Port::Port1 } else { Port::Port0 };
+            let inward = if msb_of_subtree == 0 {
+                Port::Port1
+            } else {
+                Port::Port0
+            };
             RoutingMode::UserDefined(inward)
         } else {
             RoutingMode::Conventional
@@ -273,8 +275,8 @@ impl MotConfiguration {
         let live_banks = self.active_banks().len();
         let gated_banks = self.topology.banks() - live_banks;
         c.arbitration_cells = live_banks * live_cells_per_tree;
-        c.gated_arbitration_cells = live_banks * (cells_per_tree - live_cells_per_tree)
-            + gated_banks * cells_per_tree;
+        c.gated_arbitration_cells =
+            live_banks * (cells_per_tree - live_cells_per_tree) + gated_banks * cells_per_tree;
         c
     }
 }
@@ -289,7 +291,10 @@ fn folded_bits(total: usize, active: usize) -> u64 {
     if g == 0 || bits == 0 {
         return 0;
     }
-    debug_assert!(g <= bits.saturating_sub(1), "fold depth exceeds sub-MSB bits");
+    debug_assert!(
+        g <= bits.saturating_sub(1),
+        "fold depth exceeds sub-MSB bits"
+    );
     // Bits (bits-2) down to (bits-1-g), i.e. g bits directly below the MSB.
     let top = bits - 1; // MSB position
     let mut mask = 0u64;
@@ -409,9 +414,9 @@ mod tests {
         for h in 0..32 {
             loads[c.remap_bank(h)] += 1;
         }
-        for b in 0..32 {
+        for (b, &load) in loads.iter().enumerate() {
             let want = if c.is_bank_active(b) { 4 } else { 0 };
-            assert_eq!(loads[b], want, "bank {b}");
+            assert_eq!(load, want, "bank {b}");
         }
     }
 
@@ -460,7 +465,10 @@ mod tests {
         for home in 0..32 {
             let mut reached = 0usize; // path bits so far = switch index at each level
             for level in 1..=topo.routing_levels() {
-                let mode = c.routing_mode(SwitchAddr { level, index: reached });
+                let mode = c.routing_mode(SwitchAddr {
+                    level,
+                    index: reached,
+                });
                 let addr_bit = (home >> topo.bit_of_level(level)) & 1 == 1;
                 let port = match mode {
                     RoutingMode::Off => {

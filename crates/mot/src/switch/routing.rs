@@ -205,8 +205,8 @@ mod tests {
 
     #[test]
     fn port_bit_round_trip() {
-        assert_eq!(Port::from_bit(false).bit(), false);
-        assert_eq!(Port::from_bit(true).bit(), true);
+        assert!(!Port::from_bit(false).bit());
+        assert!(Port::from_bit(true).bit());
         assert_eq!(Port::Port0.other(), Port::Port1);
         assert_eq!(Port::Port1.other(), Port::Port0);
     }

@@ -267,8 +267,7 @@ mod tests {
     #[test]
     fn every_bank_has_unique_route() {
         let t = MotTopology::date16();
-        let mut routes: Vec<Vec<crate::switch::Port>> =
-            (0..32).map(|b| t.route_to(b)).collect();
+        let mut routes: Vec<Vec<crate::switch::Port>> = (0..32).map(|b| t.route_to(b)).collect();
         routes.sort_by_key(|r| r.iter().map(|p| p.bit() as u8).collect::<Vec<_>>());
         routes.dedup();
         assert_eq!(routes.len(), 32, "routes must be distinct per bank");

@@ -158,9 +158,8 @@ impl NocNetwork {
         let start = (at + self.params.router_pipeline).max(*port);
         *port = start + flits;
         packet.hops += 1;
-        self.dynamic_energy += (self.params.router_energy_per_flit
-            + self.params.link_energy_per_flit)
-            * flits as f64;
+        self.dynamic_energy +=
+            (self.params.router_energy_per_flit + self.params.link_energy_per_flit) * flits as f64;
         self.push(start + self.params.link_cycles, Loc::AtRouter(to), packet);
     }
 
@@ -285,7 +284,11 @@ impl Interconnect for NocNetwork {
         self.stats.requests += 1;
         let packet = Packet::request(now, request);
         // One injection-link cycle into the core's router.
-        self.push(now + 1, Loc::AtRouter(self.topo.core_router(request.core)), packet);
+        self.push(
+            now + 1,
+            Loc::AtRouter(self.topo.core_router(request.core)),
+            packet,
+        );
     }
 
     fn pop_arrival(&mut self) -> Option<BankArrival> {
@@ -364,7 +367,12 @@ mod tests {
                 return out;
             }
         }
-        panic!("only {} of {} arrivals within {} cycles", out.len(), n, horizon);
+        panic!(
+            "only {} of {} arrivals within {} cycles",
+            out.len(),
+            n,
+            horizon
+        );
     }
 
     #[test]
@@ -434,8 +442,8 @@ mod tests {
         net.inject_request(0, req(0, 31, 1));
         let arr = collect_arrivals(&mut net, 1, 200);
         let hops = 8; // 3 X + 3 Y + 2 Z (see topo::tests::mesh3d_dor...)
-        // Cut-through: injection(1) + hops·(pipeline 2 + link 1) + tail
-        // drain (1 flit).
+                      // Cut-through: injection(1) + hops·(pipeline 2 + link 1) + tail
+                      // drain (1 flit).
         let expect = 1 + hops * 3 + 1;
         assert_eq!(arr[0].at_cycle, expect, "transit {}", arr[0].at_cycle);
     }

@@ -69,8 +69,8 @@ impl NocParams {
         let link_energy_per_flit =
             link_wire.energy_per_transition() * (FLIT_BITS as f64 * ACTIVITY);
         // A bus transfer crosses up to both cache tiers.
-        let bus_energy_per_flit = floorplan.tsv.hop_energy(tech, floorplan.bank_tiers)
-            * (FLIT_BITS as f64 * ACTIVITY);
+        let bus_energy_per_flit =
+            floorplan.tsv.hop_energy(tech, floorplan.bank_tiers) * (FLIT_BITS as f64 * ACTIVITY);
 
         // Leakage: routers + buses + link repeaters (one link set per
         // router, FLIT_BITS wires each — a deliberate simplification that

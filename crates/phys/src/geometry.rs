@@ -56,7 +56,11 @@ impl fmt::Display for FloorplanError {
             FloorplanError::BadCount { what, count } => {
                 write!(f, "cannot place {count} {what} on a square grid")
             }
-            FloorplanError::TooManyActive { what, active, total } => {
+            FloorplanError::TooManyActive {
+                what,
+                active,
+                total,
+            } => {
                 write!(f, "{active} active {what} exceed the {total} present")
             }
         }
@@ -211,7 +215,8 @@ impl Floorplan {
         active_cores: usize,
         active_banks: usize,
     ) -> Result<PathGeometry, FloorplanError> {
-        let horizontal = self.worst_core_run(active_cores)? + self.worst_pillar_run(active_banks)?;
+        let horizontal =
+            self.worst_core_run(active_cores)? + self.worst_pillar_run(active_banks)?;
         // Banks fill tiers bottom-up; the farthest active bank determines
         // the hop count.
         let per_tier = self.total_banks / self.bank_tiers;
@@ -257,13 +262,13 @@ impl Default for Floorplan {
     }
 }
 
-fn validate_active(
-    what: &'static str,
-    active: usize,
-    total: usize,
-) -> Result<(), FloorplanError> {
+fn validate_active(what: &'static str, active: usize, total: usize) -> Result<(), FloorplanError> {
     if active == 0 || active > total {
-        return Err(FloorplanError::TooManyActive { what, active, total });
+        return Err(FloorplanError::TooManyActive {
+            what,
+            active,
+            total,
+        });
     }
     Ok(())
 }
@@ -297,7 +302,11 @@ mod tests {
     fn full_state_spans_7_5_mm() {
         let fp = Floorplan::date16();
         let p = fp.longest_path(16, 32).unwrap();
-        assert!((p.horizontal.mm() - 7.5).abs() < 1e-9, "{} mm", p.horizontal.mm());
+        assert!(
+            (p.horizontal.mm() - 7.5).abs() < 1e-9,
+            "{} mm",
+            p.horizontal.mm()
+        );
         assert_eq!(p.vertical_hops, 2);
         assert!((p.vertical.um() - 80.0).abs() < 1e-9);
     }

@@ -128,7 +128,10 @@ mod tests {
     #[test]
     fn gated_core_consumes_nothing() {
         let m = CorePowerModel::cortex_a5_like();
-        assert_eq!(m.energy(1000, 1000, Seconds::from_us(1.0), false), Joules::ZERO);
+        assert_eq!(
+            m.energy(1000, 1000, Seconds::from_us(1.0), false),
+            Joules::ZERO
+        );
     }
 
     #[test]

@@ -99,8 +99,13 @@ impl RepeatedWire {
 
         let mut delay = Seconds::ZERO;
         for i in 0..segments {
-            let load = if i + 1 == segments { end_load } else { rep.input_cap };
-            let driver_term = LN2 * rep.drive_resistance.value()
+            let load = if i + 1 == segments {
+                end_load
+            } else {
+                rep.input_cap
+            };
+            let driver_term = LN2
+                * rep.drive_resistance.value()
                 * (rep.output_cap.value() + cw.value() + load.value());
             let wire_term = rw.value() * (LN2 * load.value() + DISTRIBUTED * cw.value());
             delay += rep.intrinsic_delay + Seconds::new(driver_term + wire_term);
@@ -174,8 +179,9 @@ pub fn unrepeated_delay(tech: &Technology, length: Meters, end_load: Farads) -> 
     let rep = &tech.repeater;
     let rw = tech.wire_resistance.over(length);
     let cw = tech.wire_capacitance.over(length);
-    let driver_term =
-        LN2 * rep.drive_resistance.value() * (rep.output_cap.value() + cw.value() + end_load.value());
+    let driver_term = LN2
+        * rep.drive_resistance.value()
+        * (rep.output_cap.value() + cw.value() + end_load.value());
     let wire_term = rw.value() * (LN2 * end_load.value() + DISTRIBUTED * cw.value());
     rep.intrinsic_delay + Seconds::new(driver_term + wire_term)
 }

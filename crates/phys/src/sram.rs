@@ -64,7 +64,10 @@ pub enum SramConfigError {
 impl fmt::Display for SramConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SramConfigError::BadCapacity { capacity, set_bytes } => write!(
+            SramConfigError::BadCapacity {
+                capacity,
+                set_bytes,
+            } => write!(
                 f,
                 "capacity {capacity} B is not a positive multiple of the set size {set_bytes} B"
             ),
@@ -161,8 +164,8 @@ impl SramBank {
         let cols = config.block_bytes * 8 * config.associativity;
 
         // Partition into mats no larger than 256 × 128 cells.
-        let sub_cols = cols.min(MAX_SUB_COLS).max(1);
-        let sub_rows = rows.min(MAX_SUB_ROWS).max(1);
+        let sub_cols = cols.clamp(1, MAX_SUB_COLS);
+        let sub_rows = rows.clamp(1, MAX_SUB_ROWS);
 
         let cell_pitch = Meters::from_um(tech.sram_cell_area_um2.sqrt() * 1.2);
 
@@ -171,8 +174,7 @@ impl SramBank {
         let decoder = DECODER_FIXED + DECODER_DELAY_PER_BIT * addr_bits;
 
         let wl_len = cell_pitch * sub_cols as f64;
-        let wl_cap = WORDLINE_CAP_PER_CELL * sub_cols as f64
-            + tech.wire_capacitance.over(wl_len);
+        let wl_cap = WORDLINE_CAP_PER_CELL * sub_cols as f64 + tech.wire_capacitance.over(wl_len);
         let wl_res = tech.wire_resistance.over(wl_len);
         // Distributed wordline: 0.38·R·C plus the dedicated-driver term.
         let wordline = Seconds::new(
@@ -189,18 +191,13 @@ impl SramBank {
         // H-tree from the bank I/O to the mat and back (half the bank side
         // each way on average, repeated wire).
         let area = SquareMeters::new(
-            config.capacity_bytes as f64 * 8.0 * tech.sram_cell_area_um2 * 1e-12
-                / AREA_EFFICIENCY,
+            config.capacity_bytes as f64 * 8.0 * tech.sram_cell_area_um2 * 1e-12 / AREA_EFFICIENCY,
         );
         let side = Meters::new(area.value().sqrt());
         let htree = RepeatedWire::new(tech, side / 2.0);
 
-        let access_delay = decoder
-            + wordline
-            + bitline
-            + SENSE_AMP_DELAY
-            + OUTPUT_DRIVER_DELAY
-            + htree.delay();
+        let access_delay =
+            decoder + wordline + bitline + SENSE_AMP_DELAY + OUTPUT_DRIVER_DELAY + htree.delay();
 
         // --- energy ----------------------------------------------------
         // Read: every bitline of the addressed set (all ways in parallel,
@@ -321,7 +318,12 @@ mod tests {
         // Table I: L1 has 1-cycle latency.
         let tech = Technology::lp45();
         let l1 = SramBank::model(&tech, SramConfig::l1_date16()).unwrap();
-        assert_eq!(l1.access_cycles(&tech), 1, "delay {} ns", l1.access_delay().ns());
+        assert_eq!(
+            l1.access_cycles(&tech),
+            1,
+            "delay {} ns",
+            l1.access_delay().ns()
+        );
     }
 
     #[test]

@@ -119,7 +119,7 @@ impl Technology {
             name: "45nm-LP",
             vdd: Volts::new(1.1),
             clock: Hertz::from_ghz(1.0),
-            wire_resistance: OhmsPerMeter(150e3),  // 150 Ω/mm
+            wire_resistance: OhmsPerMeter(150e3), // 150 Ω/mm
             wire_capacitance: FaradsPerMeter(200e-12), // 200 fF/mm
             repeater: RepeaterParams {
                 drive_resistance: Ohms::from_kohms(2.8),

@@ -157,8 +157,7 @@ mod tests {
         let tech = Technology::lp45();
         let tsv = Tsv::date16();
         let vertical = tsv.hop_delay(&tech, 1);
-        let horizontal =
-            crate::rc::RepeatedWire::new(&tech, Meters::from_mm(1.0)).delay();
+        let horizontal = crate::rc::RepeatedWire::new(&tech, Meters::from_mm(1.0)).delay();
         assert!(
             vertical.value() * 2.0 < horizontal.value(),
             "vertical {} ns vs horizontal {} ns",

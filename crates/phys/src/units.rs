@@ -652,6 +652,9 @@ mod tests {
     #[test]
     fn zero_and_negation() {
         assert_eq!(Seconds::ZERO.value(), 0.0);
-        assert_eq!(-Seconds::from_ns(1.0) + Seconds::from_ns(1.0), Seconds::ZERO);
+        assert_eq!(
+            -Seconds::from_ns(1.0) + Seconds::from_ns(1.0),
+            Seconds::ZERO
+        );
     }
 }

@@ -114,7 +114,12 @@ enum Action {
     /// DRAM returned the line: fill the bank and respond.
     Refill { bank: usize, tag: u64 },
     /// Send a response into the interconnect.
-    Respond { tag: u64, core: usize, bank: usize, write: bool },
+    Respond {
+        tag: u64,
+        core: usize,
+        bank: usize,
+        write: bool,
+    },
     /// Instruction refill arrived at the core.
     IFetchDone { core_idx: usize },
 }
@@ -238,17 +243,15 @@ impl Cluster {
         let cores = physical_cores
             .into_iter()
             .zip(streams)
-            .map(|(physical, stream)| {
-                CoreState {
-                    physical,
-                    stream,
-                    status: CoreStatus::Ready,
-                    l1: SetAssocCache::new(CacheConfig::l1_date16())
-                        .expect("Table I L1 geometry is valid"),
-                    busy_cycles: 0,
-                    retired: 0,
-                    finished_at: None,
-                }
+            .map(|(physical, stream)| CoreState {
+                physical,
+                stream,
+                status: CoreStatus::Ready,
+                l1: SetAssocCache::new(CacheConfig::l1_date16())
+                    .expect("Table I L1 geometry is valid"),
+                busy_cycles: 0,
+                retired: 0,
+                finished_at: None,
             })
             .collect();
 
@@ -326,9 +329,7 @@ impl Cluster {
 
     /// Whether every core finished and all machinery drained.
     pub fn is_done(&self) -> bool {
-        self.cores
-            .iter()
-            .all(|c| c.status == CoreStatus::Finished)
+        self.cores.iter().all(|c| c.status == CoreStatus::Finished)
             && self.txs.is_empty()
             && self.events.is_empty()
             && self.bus.is_idle()
@@ -495,7 +496,13 @@ impl Cluster {
         } else {
             // --- L2 miss: tag check, then the Miss bus + DRAM ---------
             self.l2_misses += 1;
-            self.schedule(done, Action::BusEnqueue { bank: bank_idx, tag });
+            self.schedule(
+                done,
+                Action::BusEnqueue {
+                    bank: bank_idx,
+                    tag,
+                },
+            );
         }
     }
 
@@ -650,7 +657,8 @@ impl Cluster {
     /// A response arrived back at its core: complete the instruction.
     fn complete_delivery(&mut self, tag: u64, at_cycle: u64) {
         let tx = self.txs.remove(&tag).expect("delivery has a transaction");
-        self.l2_latency.record(at_cycle.saturating_sub(tx.issued_at));
+        self.l2_latency
+            .record(at_cycle.saturating_sub(tx.issued_at));
         let physical = self.cores[tx.core_idx].physical;
         match tx.kind {
             TxKind::Load => {
@@ -816,7 +824,10 @@ impl Cluster {
             let Reverse(s) = self.events.pop().expect("peeked");
             match s.action {
                 Action::BusEnqueue { bank, tag } => {
-                    self.bus.enqueue(Transfer { requester: bank, tag });
+                    self.bus.enqueue(Transfer {
+                        requester: bank,
+                        tag,
+                    });
                 }
                 Action::Refill { bank, tag } => self.refill_bank(bank, tag),
                 Action::Respond {

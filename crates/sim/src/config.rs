@@ -54,7 +54,7 @@ impl SimConfig {
             power_state: PowerState::full(),
             dram: DramKind::OffChipDdr3,
             dram_open_page: false,
-            seed: 0x0DA7E_2016,
+            seed: 0x0DA7E2016,
             check_golden: false,
             miss_bus_occupancy: 4,
             max_cycles: 500_000_000,

@@ -43,16 +43,23 @@ impl fmt::Display for SimError {
         match self {
             SimError::Mot(e) => write!(f, "interconnect: {e}"),
             SimError::PowerState(e) => write!(f, "power state: {e}"),
-            SimError::NocNeedsFullState(kind) =>
-
-                write!(f, "{kind} is not reconfigurable; it only runs Full connection"),
-            SimError::StreamCountMismatch { streams, active_cores } => write!(
+            SimError::NocNeedsFullState(kind) => write!(
+                f,
+                "{kind} is not reconfigurable; it only runs Full connection"
+            ),
+            SimError::StreamCountMismatch {
+                streams,
+                active_cores,
+            } => write!(
                 f,
                 "{streams} workload streams for {active_cores} active cores"
             ),
             SimError::CycleLimit(n) => write!(f, "simulation exceeded {n} cycles"),
             SimError::NotReconfigurable => {
-                write!(f, "runtime power-state switching needs the reconfigurable MoT")
+                write!(
+                    f,
+                    "runtime power-state switching needs the reconfigurable MoT"
+                )
             }
             SimError::CoreCountChange { from, to } => write!(
                 f,

@@ -31,10 +31,7 @@ pub fn run_spec(spec: &WorkloadSpec, config: &SimConfig) -> Result<Metrics, SimE
     cluster.verify_against_golden();
     Ok(cluster.metrics(format!(
         "{} @ {} @ {} @ {}",
-        spec.name,
-        config.interconnect,
-        config.power_state,
-        config.dram
+        spec.name, config.interconnect, config.power_state, config.dram
     )))
 }
 
@@ -103,7 +100,11 @@ mod tests {
 
     #[test]
     fn golden_check_passes_on_gated_states() {
-        for state in [PowerState::pc16_mb8(), PowerState::pc4_mb32(), PowerState::pc4_mb8()] {
+        for state in [
+            PowerState::pc16_mb8(),
+            PowerState::pc4_mb32(),
+            PowerState::pc4_mb8(),
+        ] {
             let mut cfg = SimConfig::date16().with_power_state(state);
             cfg.check_golden = true;
             let m = run_spec(&tiny(), &cfg).unwrap();
@@ -129,7 +130,8 @@ mod tests {
         let mot = run_spec(&spec, &SimConfig::date16()).unwrap();
         let mesh = run_spec(
             &spec,
-            &SimConfig::date16().with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d)),
+            &SimConfig::date16()
+                .with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d)),
         )
         .unwrap();
         assert!(
@@ -153,11 +155,20 @@ mod tests {
         spec.hot_fraction = 0.0; // all traffic hits the small working set
         spec.mem_ratio = 0.3;
         let m = run_spec(&spec, &SimConfig::date16()).unwrap();
-        assert!(m.l2_miss_ratio() < 0.3, "l2 miss ratio {}", m.l2_miss_ratio());
+        assert!(
+            m.l2_miss_ratio() < 0.3,
+            "l2 miss ratio {}",
+            m.l2_miss_ratio()
+        );
         // Table I: 12-cycle round trips land in the [8, 16) bucket, which
         // must dominate (the mean still carries the cold-miss DRAM tail).
         let buckets = m.l2_latency.buckets();
-        let modal = buckets.iter().enumerate().max_by_key(|(_, v)| **v).unwrap().0;
+        let modal = buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .unwrap()
+            .0;
         assert_eq!(modal, 1, "modal L2 latency bucket {buckets:?}");
         assert!(m.l2_latency.mean() >= 12.0, "mean {}", m.l2_latency.mean());
     }

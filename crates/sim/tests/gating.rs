@@ -78,7 +78,9 @@ fn transition_cannot_change_core_count() {
     let s = spec();
     let mut cluster = Cluster::new(cfg, streams(&s, 16, 3)).unwrap();
     run_some(&mut cluster, 1_000);
-    let err = cluster.switch_power_state(PowerState::pc4_mb32()).unwrap_err();
+    let err = cluster
+        .switch_power_state(PowerState::pc4_mb32())
+        .unwrap_err();
     assert!(err.to_string().contains("core count"));
 }
 
@@ -97,8 +99,8 @@ fn gated_runs_complete_with_fewer_resources() {
     large.total_ops = 240_000;
     large.phases = 4;
     let full = {
-        let mut c = Cluster::new(checked_config(PowerState::full()), streams(&large, 16, 5))
-            .unwrap();
+        let mut c =
+            Cluster::new(checked_config(PowerState::full()), streams(&large, 16, 5)).unwrap();
         c.run_to_completion().unwrap();
         c.verify_against_golden();
         c.metrics("full")

@@ -1,8 +1,8 @@
 //! Property-based tests of the whole simulated cluster (DESIGN.md §5).
 
 use mot3d_mot::PowerState;
-use mot3d_sim::{run_spec, InterconnectChoice, SimConfig};
 use mot3d_noc::NocTopologyKind;
+use mot3d_sim::{run_spec, InterconnectChoice, SimConfig};
 use mot3d_workloads::{SplashBenchmark, WorkloadSpec};
 use proptest::prelude::*;
 

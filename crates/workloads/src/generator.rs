@@ -100,10 +100,8 @@ impl CoreStream {
         let private_bytes = line_floor(remaining / active_cores as u64).max(LINE);
         let private_base = spec.base_addr + shared_bytes + rank as u64 * private_bytes;
         // Hot sets live past the working set, one disjoint slice per rank.
-        let hot_base = spec.base_addr
-            + spec.working_set_bytes as u64
-            + LINE
-            + rank as u64 * HOT_BYTES;
+        let hot_base =
+            spec.base_addr + spec.working_set_bytes as u64 + LINE + rank as u64 * HOT_BYTES;
         let mut stream = CoreStream {
             spec: *spec,
             active_cores,
@@ -150,8 +148,8 @@ impl CoreStream {
     }
 
     fn parallel_share(&self, phase: u32) -> u64 {
-        let parallel =
-            self.per_phase_ops() - (self.per_phase_ops() as f64 * self.spec.serial_fraction).round() as u64;
+        let parallel = self.per_phase_ops()
+            - (self.per_phase_ops() as f64 * self.spec.serial_fraction).round() as u64;
         let base = parallel as f64 / self.active_cores as f64;
         // Rotating imbalance: a different rank straggles each phase.
         let z = if self.active_cores == 1 {
@@ -449,8 +447,7 @@ mod tests {
                 })
                 .collect()
         };
-        let shared_lines =
-            (spec.working_set_bytes as f64 * spec.shared_fraction) as u64 / LINE + 1;
+        let shared_lines = (spec.working_set_bytes as f64 * spec.shared_fraction) as u64 / LINE + 1;
         let a = collect(0);
         let b = collect(1);
         let shared_base_line = spec.base_addr / LINE;

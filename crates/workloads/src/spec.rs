@@ -95,7 +95,10 @@ impl WorkloadSpec {
         assert!(self.imbalance >= 0.0 && self.imbalance < 1.0);
         assert!(self.working_set_bytes > 0, "working set must be non-empty");
         assert!(self.phases > 0, "at least one phase");
-        assert!(self.total_ops >= self.phases as u64, "ops must cover phases");
+        assert!(
+            self.total_ops >= self.phases as u64,
+            "ops must cover phases"
+        );
     }
 }
 

@@ -263,7 +263,10 @@ mod tests {
             SplashBenchmark::Radix,
             SplashBenchmark::OceanContiguous,
         ] {
-            assert!(b.spec().needs_more_than_8_banks(), "{b} should overflow 8 banks");
+            assert!(
+                b.spec().needs_more_than_8_banks(),
+                "{b} should overflow 8 banks"
+            );
         }
     }
 
@@ -279,7 +282,10 @@ mod tests {
 
     #[test]
     fn names_match_paper_spelling() {
-        assert_eq!(SplashBenchmark::OceanContiguous.to_string(), "ocean_contiguous");
+        assert_eq!(
+            SplashBenchmark::OceanContiguous.to_string(),
+            "ocean_contiguous"
+        );
         assert_eq!(SplashBenchmark::WaterNsquared.to_string(), "water-nsquared");
     }
 

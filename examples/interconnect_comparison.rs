@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 baseline = Some(m.cycles);
                 String::new()
             }
-            Some(base) => format!("  ({:+.1}% vs mesh)", 100.0 * (m.cycles as f64 / base as f64 - 1.0)),
+            Some(base) => format!(
+                "  ({:+.1}% vs mesh)",
+                100.0 * (m.cycles as f64 / base as f64 - 1.0)
+            ),
         };
         println!(
             "{:<22} {:>10} {:>14.1} {:>16.2}{vs}",

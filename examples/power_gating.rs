@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let gray = matches!(mode, RoutingMode::UserDefined(_));
         println!(
             "    level 2, switch {index}: {mode}{}",
-            if gray { "   <- Fig. 4's gray circle" } else { "" }
+            if gray {
+                "   <- Fig. 4's gray circle"
+            } else {
+                ""
+            }
         );
     }
 

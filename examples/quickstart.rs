@@ -27,10 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  cycles          : {}", metrics.cycles);
     println!("  instructions    : {}", metrics.instructions);
     println!("  IPC             : {:.3}", metrics.ipc());
-    println!("  L1 miss ratio   : {:.1}%", 100.0 * metrics.l1_miss_ratio());
-    println!("  L2 miss ratio   : {:.1}%", 100.0 * metrics.l2_miss_ratio());
-    println!("  mean L2 latency : {:.1} cycles", metrics.l2_latency.mean());
-    println!("  cluster energy  : {:.3} mJ", metrics.energy.cluster().mj());
+    println!(
+        "  L1 miss ratio   : {:.1}%",
+        100.0 * metrics.l1_miss_ratio()
+    );
+    println!(
+        "  L2 miss ratio   : {:.1}%",
+        100.0 * metrics.l2_miss_ratio()
+    );
+    println!(
+        "  mean L2 latency : {:.1} cycles",
+        metrics.l2_latency.mean()
+    );
+    println!(
+        "  cluster energy  : {:.3} mJ",
+        metrics.energy.cluster().mj()
+    );
     println!("  EDP             : {:.3e} J·s", metrics.edp().value());
 
     // --- 3. Compare against a power-gated state ------------------------
@@ -40,10 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &config.with_power_state(PowerState::pc4_mb8()),
     )?;
     println!("\nfft again in PC4-MB8 (4 cores, 8 banks):");
-    println!("  cycles          : {} ({:+.1}%)", gated.cycles,
-        100.0 * (gated.cycles as f64 / metrics.cycles as f64 - 1.0));
-    println!("  EDP             : {:.3e} J·s ({:+.1}%)", gated.edp().value(),
-        100.0 * (gated.edp().value() / metrics.edp().value() - 1.0));
+    println!(
+        "  cycles          : {} ({:+.1}%)",
+        gated.cycles,
+        100.0 * (gated.cycles as f64 / metrics.cycles as f64 - 1.0)
+    );
+    println!(
+        "  EDP             : {:.3e} J·s ({:+.1}%)",
+        gated.edp().value(),
+        100.0 * (gated.edp().value() / metrics.edp().value() - 1.0)
+    );
     println!("\nfft scales poorly, so trading 12 cores for a 44% EDP cut is the");
     println!("paper's headline: the right power state depends on the program.");
     Ok(())

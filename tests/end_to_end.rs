@@ -21,6 +21,41 @@ fn table1_latencies_reproduce_exactly() {
 }
 
 #[test]
+fn table1_leakage_orders_monotonically_with_gating() {
+    // Table I regression: the paper's headline latencies pinned exactly,
+    // plus the leakage ordering that makes power gating worthwhile. Every
+    // partial state must leak strictly less than Full connection and
+    // strictly more than the deepest state, and gating more components
+    // must never increase leakage.
+    let full = MotNetwork::date16(PowerState::full()).unwrap();
+    let pc16_mb8 = MotNetwork::date16(PowerState::pc16_mb8()).unwrap();
+    let pc4_mb32 = MotNetwork::date16(PowerState::pc4_mb32()).unwrap();
+    let pc4_mb8 = MotNetwork::date16(PowerState::pc4_mb8()).unwrap();
+
+    assert_eq!(full.latency().round_trip(), 12);
+    assert_eq!(pc4_mb8.latency().round_trip(), 7);
+
+    // Gating 24 of 32 banks removes more interconnect than gating 12 of
+    // 16 cores, so PC16-MB8 sits below PC4-MB32; both sit strictly
+    // between the extremes.
+    let (w_full, w_mb8, w_pc4, w_both) = (
+        full.leakage_power(),
+        pc16_mb8.leakage_power(),
+        pc4_mb32.leakage_power(),
+        pc4_mb8.leakage_power(),
+    );
+    assert!(
+        w_both.value() > 0.0,
+        "deepest state still leaks: {w_both:?}"
+    );
+    assert!(
+        w_full > w_pc4 && w_pc4 > w_mb8 && w_mb8 > w_both,
+        "leakage must fall monotonically with gating: \
+         full={w_full:?} pc4_mb32={w_pc4:?} pc16_mb8={w_mb8:?} pc4_mb8={w_both:?}"
+    );
+}
+
+#[test]
 fn every_interconnect_runs_every_benchmark() {
     for bench in SplashBenchmark::all() {
         for ic in [
@@ -29,12 +64,8 @@ fn every_interconnect_runs_every_benchmark() {
             InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh),
             InterconnectChoice::Noc(NocTopologyKind::HybridBusTree),
         ] {
-            let m = run_benchmark(
-                bench,
-                0.002,
-                &SimConfig::date16().with_interconnect(ic),
-            )
-            .unwrap_or_else(|e| panic!("{bench} on {ic}: {e}"));
+            let m = run_benchmark(bench, 0.002, &SimConfig::date16().with_interconnect(ic))
+                .unwrap_or_else(|e| panic!("{bench} on {ic}: {e}"));
             assert!(m.cycles > 0, "{bench} on {ic}");
             assert!(m.instructions > 0);
             assert!(m.energy.cluster().value() > 0.0);
@@ -140,12 +171,8 @@ fn faster_dram_amplifies_bank_gating_benefit() {
     for dram in [DramKind::OffChipDdr3, DramKind::WideIo, DramKind::Weis3d] {
         let cfg = SimConfig::date16().with_dram(dram);
         let full = run_benchmark(bench, SCALE, &cfg).unwrap();
-        let gated = run_benchmark(
-            bench,
-            SCALE,
-            &cfg.with_power_state(PowerState::pc16_mb8()),
-        )
-        .unwrap();
+        let gated =
+            run_benchmark(bench, SCALE, &cfg.with_power_state(PowerState::pc16_mb8())).unwrap();
         ratios.push(gated.edp().value() / full.edp().value());
     }
     assert!(

@@ -1,0 +1,154 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate.
+//!
+//! The build environment for this workspace has no crates.io access, so this
+//! crate vendors the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — a warm-up pass sizes the batch, then
+//! a fixed wall-clock budget measures mean ns/iter. Good enough to spot
+//! order-of-magnitude regressions; not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one closure over repeated calls (see [`Criterion::bench_function`]).
+#[derive(Debug)]
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly inside the measurement budget, recording
+    /// total iterations and elapsed time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one call, also sizes the batch so cheap routines are
+        // timed in bulk and expensive ones are not over-run.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters_done += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Entry point handed to each bench target (shim of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`] and prints a one-line mean-time report.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget: self.budget,
+        };
+        f(&mut b);
+        if b.iters_done > 0 {
+            let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+            println!(
+                "{id:<48} {ns_per_iter:>14.1} ns/iter ({} iters)",
+                b.iters_done
+            );
+        } else {
+            println!("{id:<48} (no measurement)");
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks (shim of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's fixed time budget makes
+    /// the statistical sample count irrelevant.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`], reporting under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles bench functions into a group runner (shim of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` invoking each bench group (shim of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
