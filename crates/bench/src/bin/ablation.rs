@@ -45,23 +45,13 @@ fn main() {
     }
 
     println!("\n== Ablation 2: flat vs open-page DRAM (Full connection) ==");
-    println!(
-        "{:<18} {:>12} {:>12} {:>8}",
-        "benchmark", "flat", "open-page", "delta"
+    print!(
+        "{}",
+        mot3d_bench::report::render_open_page(
+            &mot3d_bench::open_page_at(scale, mot3d_mem::dram::DramKind::OffChipDdr3),
+            "200 ns"
+        )
     );
-    for bench in SplashBenchmark::all() {
-        let flat = run_benchmark(bench, scale.scale, &SimConfig::date16()).unwrap();
-        let mut cfg = SimConfig::date16();
-        cfg.dram_open_page = true;
-        let open = run_benchmark(bench, scale.scale, &cfg).unwrap();
-        println!(
-            "{:<18} {:>12} {:>12} {:>7.1}%",
-            bench.to_string(),
-            flat.cycles,
-            open.cycles,
-            100.0 * (open.cycles as f64 / flat.cycles as f64 - 1.0),
-        );
-    }
 
     println!("\n== Ablation 3: derived MoT latency by technology node ==");
     println!("{:<16} {:>10} {:>10}", "state", "45nm-LP", "65nm-LP");

@@ -1,11 +1,16 @@
 //! Runs every experiment and prints an EXPERIMENTS.md-ready report.
 
 use mot3d_bench::report;
-use mot3d_bench::{fig5, fig6, fig7, fig8, table1, ExperimentScale};
+use mot3d_bench::{fig5, fig6, fig7, fig8, open_page_at, table1, ExperimentScale};
+use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    eprintln!("running all experiments at scale {} ...", scale.scale);
+    eprintln!(
+        "running all experiments at scale {} on {} threads ...",
+        scale.scale,
+        mot3d_bench::experiments::sweep_threads(),
+    );
     println!("== Table I ==");
     print!("{}", report::render_table1(&table1()));
     println!("\n== Fig. 5 ==");
@@ -24,4 +29,9 @@ fn main() {
     print!("{}", report::render_fig7(&f8.at_42ns, "42 ns (Weis 3-D)"));
     println!();
     print!("{}", report::render_fig7_claims(&f8.at_63ns));
+    println!("\n== Open-page DRAM ==");
+    print!(
+        "{}",
+        report::render_open_page(&open_page_at(scale, DramKind::OffChipDdr3), "200 ns")
+    );
 }

@@ -1,13 +1,15 @@
 //! Regenerates Fig. 6: the four-interconnect comparison.
 
-use mot3d_bench::{fig6, ExperimentScale};
+use mot3d_bench::experiments::fig6_streamed;
+use mot3d_bench::{report, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
     eprintln!(
-        "running Fig. 6 at scale {} (set MOT3D_SCALE to change)...",
-        scale.scale
+        "running Fig. 6 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
+        scale.scale,
+        mot3d_bench::experiments::sweep_threads(),
     );
-    let rows = fig6(scale);
-    print!("{}", mot3d_bench::report::render_fig6(&rows));
+    let rows = fig6_streamed(scale, report::stream_progress);
+    print!("{}", report::render_fig6(&rows));
 }

@@ -1,15 +1,18 @@
 //! Regenerates Fig. 7: EDP and execution time across power states @ 200 ns.
 
-use mot3d_bench::{fig7, ExperimentScale};
+use mot3d_bench::experiments::fig7_at_streamed;
+use mot3d_bench::{report, ExperimentScale};
+use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
     eprintln!(
-        "running Fig. 7 at scale {} (set MOT3D_SCALE to change)...",
-        scale.scale
+        "running Fig. 7 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
+        scale.scale,
+        mot3d_bench::experiments::sweep_threads(),
     );
-    let rows = fig7(scale);
-    print!("{}", mot3d_bench::report::render_fig7(&rows, "200 ns"));
+    let rows = fig7_at_streamed(scale, DramKind::OffChipDdr3, report::stream_progress);
+    print!("{}", report::render_fig7(&rows, "200 ns"));
     println!();
-    print!("{}", mot3d_bench::report::render_fig7_claims(&rows));
+    print!("{}", report::render_fig7_claims(&rows));
 }

@@ -1,21 +1,23 @@
-//! Regenerates Fig. 8: the power-state sweep at 63 ns and 42 ns DRAM.
+//! Regenerates Fig. 8: the power-state sweep at 63 ns and 42 ns DRAM,
+//! plus the open-page DRAM refinement sweep (ROADMAP item).
 
-use mot3d_bench::{fig8, ExperimentScale};
+use mot3d_bench::experiments::fig7_at_streamed;
+use mot3d_bench::{open_page_at, report, ExperimentScale};
+use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
     eprintln!(
-        "running Fig. 8 at scale {} (set MOT3D_SCALE to change)...",
-        scale.scale
+        "running Fig. 8 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
+        scale.scale,
+        mot3d_bench::experiments::sweep_threads(),
     );
-    let r = fig8(scale);
-    print!(
-        "{}",
-        mot3d_bench::report::render_fig7(&r.at_63ns, "63 ns (Wide I/O)")
-    );
+    let at_63ns = fig7_at_streamed(scale, DramKind::WideIo, report::stream_progress);
+    let at_42ns = fig7_at_streamed(scale, DramKind::Weis3d, report::stream_progress);
+    print!("{}", report::render_fig7(&at_63ns, "63 ns (Wide I/O)"));
     println!();
-    print!(
-        "{}",
-        mot3d_bench::report::render_fig7(&r.at_42ns, "42 ns (Weis 3-D)")
-    );
+    print!("{}", report::render_fig7(&at_42ns, "42 ns (Weis 3-D)"));
+    println!();
+    let open = open_page_at(scale, DramKind::OffChipDdr3);
+    print!("{}", report::render_open_page(&open, "200 ns"));
 }

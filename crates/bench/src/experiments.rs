@@ -1,5 +1,17 @@
 //! Experiment runners, one per paper table/figure.
+//!
+//! The simulation sweeps (Fig. 6–8, open-page) are grids of independent
+//! runs; each grid is sharded across worker threads by
+//! [`crate::pool::parallel_map_streamed`] (thread count: `MOT3D_THREADS`,
+//! default = available parallelism), with results assembled in
+//! deterministic order — every thread count, including 1, produces
+//! bit-identical rows. The `*_streamed` variants additionally report each
+//! finished cell to a progress callback, which the experiment binaries
+//! stream to stderr.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
 use mot3d_mem::dram::DramKind;
 use mot3d_mot::latency::{MotLatency, MotTimingParams};
 use mot3d_mot::topology::MotTopology;
@@ -20,7 +32,8 @@ pub struct ExperimentScale {
 }
 
 impl ExperimentScale {
-    /// Reads `MOT3D_SCALE` (default 0.05).
+    /// Reads `MOT3D_SCALE` (default 0.35 ≈ 560 k instructions per
+    /// program — enough to pressure the L2 capacity axis).
     pub fn from_env() -> Self {
         let scale = std::env::var("MOT3D_SCALE")
             .ok()
@@ -153,6 +166,13 @@ impl Fig6Row {
     }
 }
 
+/// Worker threads a fig6/fig7-style 8 × 4 sweep grid will use (for the
+/// binaries' banner lines; derived from the actual job count so it can't
+/// drift from the grids).
+pub fn sweep_threads() -> usize {
+    pool::worker_threads(SplashBenchmark::all().len() * 4)
+}
+
 /// The interconnect order of Fig. 6.
 pub fn fig6_interconnects() -> [InterconnectChoice; 4] {
     [
@@ -164,18 +184,45 @@ pub fn fig6_interconnects() -> [InterconnectChoice; 4] {
 }
 
 /// Runs Fig. 6: all benchmarks over all four interconnects (Full state,
-/// 200 ns DRAM).
+/// 200 ns DRAM), sharded across worker threads.
 pub fn fig6(scale: ExperimentScale) -> Vec<Fig6Row> {
-    SplashBenchmark::all()
+    fig6_streamed(scale, |_, _, _| {})
+}
+
+/// [`fig6`] with a streaming progress callback: `progress(done, total,
+/// label)` fires as each of the 8 × 4 independent runs completes
+/// (possibly concurrently from several worker threads).
+pub fn fig6_streamed(
+    scale: ExperimentScale,
+    progress: impl Fn(usize, usize, &str) + Sync,
+) -> Vec<Fig6Row> {
+    let benches = SplashBenchmark::all();
+    let ics = fig6_interconnects();
+    let total = benches.len() * ics.len();
+    let done = AtomicUsize::new(0);
+    let cells = pool::parallel_map_streamed(
+        total,
+        |j| {
+            let cfg = base_config(scale.seed).with_interconnect(ics[j % ics.len()]);
+            let m = must_run(benches[j / ics.len()], scale.scale, &cfg);
+            (m.l2_latency.mean(), m.cycles)
+        },
+        |j, _| {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let label = format!("{} @ {}", benches[j / ics.len()], ics[j % ics.len()]);
+            progress(k, total, &label);
+        },
+    );
+    benches
         .iter()
-        .map(|bench| {
+        .enumerate()
+        .map(|(b, bench)| {
             let mut l2 = [0.0; 4];
             let mut cycles = [0u64; 4];
-            for (i, ic) in fig6_interconnects().into_iter().enumerate() {
-                let cfg = base_config(scale.seed).with_interconnect(ic);
-                let m = must_run(*bench, scale.scale, &cfg);
-                l2[i] = m.l2_latency.mean();
-                cycles[i] = m.cycles;
+            for i in 0..ics.len() {
+                let (lat, cyc) = cells[b * ics.len() + i];
+                l2[i] = lat;
+                cycles[i] = cyc;
             }
             Fig6Row {
                 bench: bench.to_string(),
@@ -221,20 +268,52 @@ impl Fig7Row {
 }
 
 /// Runs Fig. 7: all benchmarks over the four power states at the given
-/// DRAM option (Fig. 7 uses 200 ns; Fig. 8 reuses this at 63/42 ns).
+/// DRAM option (Fig. 7 uses 200 ns; Fig. 8 reuses this at 63/42 ns),
+/// sharded across worker threads.
 pub fn fig7_at(scale: ExperimentScale, dram: DramKind) -> Vec<Fig7Row> {
-    SplashBenchmark::all()
+    fig7_at_streamed(scale, dram, |_, _, _| {})
+}
+
+/// [`fig7_at`] with a streaming progress callback: `progress(done,
+/// total, label)` fires as each of the 8 × 4 independent runs completes.
+pub fn fig7_at_streamed(
+    scale: ExperimentScale,
+    dram: DramKind,
+    progress: impl Fn(usize, usize, &str) + Sync,
+) -> Vec<Fig7Row> {
+    let benches = SplashBenchmark::all();
+    let states = PowerState::date16_states();
+    let total = benches.len() * states.len();
+    let done = AtomicUsize::new(0);
+    let cells = pool::parallel_map_streamed(
+        total,
+        |j| {
+            let cfg = base_config(scale.seed)
+                .with_power_state(states[j % states.len()])
+                .with_dram(dram);
+            let m = must_run(benches[j / states.len()], scale.scale, &cfg);
+            (m.edp().value(), m.cycles)
+        },
+        |j, _| {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            let label = format!(
+                "{} @ {} @ {dram}",
+                benches[j / states.len()],
+                states[j % states.len()]
+            );
+            progress(k, total, &label);
+        },
+    );
+    benches
         .iter()
-        .map(|bench| {
+        .enumerate()
+        .map(|(b, bench)| {
             let mut edp = [0.0; 4];
             let mut cycles = [0u64; 4];
-            for (i, state) in PowerState::date16_states().into_iter().enumerate() {
-                let cfg = base_config(scale.seed)
-                    .with_power_state(state)
-                    .with_dram(dram);
-                let m = must_run(*bench, scale.scale, &cfg);
-                edp[i] = m.edp().value();
-                cycles[i] = m.cycles;
+            for i in 0..states.len() {
+                let (e, cyc) = cells[b * states.len() + i];
+                edp[i] = e;
+                cycles[i] = cyc;
             }
             Fig7Row {
                 bench: bench.to_string(),
@@ -265,6 +344,64 @@ pub fn fig8(scale: ExperimentScale) -> Fig8Result {
         at_63ns: fig7_at(scale, DramKind::WideIo),
         at_42ns: fig7_at(scale, DramKind::Weis3d),
     }
+}
+
+// ------------------------------------------------------------- Open page
+
+/// One row of the open-page DRAM sweep: the same benchmark under the
+/// paper's flat-latency controller and under the 4 KB open-page
+/// refinement (`dram_open_page`), at one Table I DRAM option.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenPageRow {
+    /// Program name.
+    pub bench: String,
+    /// Execution cycles with the paper's flat latency.
+    pub flat_cycles: u64,
+    /// Execution cycles with the open-page controller.
+    pub open_cycles: u64,
+    /// EDP (J·s) with the flat latency.
+    pub flat_edp: f64,
+    /// EDP (J·s) with the open-page controller.
+    pub open_edp: f64,
+}
+
+impl OpenPageRow {
+    /// Execution-time change of open-page vs flat, percent (negative =
+    /// open-page faster).
+    pub fn cycle_delta_percent(&self) -> f64 {
+        100.0 * (self.open_cycles as f64 / self.flat_cycles as f64 - 1.0)
+    }
+}
+
+/// Fig. 8-style open-page sweep (ROADMAP item): all benchmarks under
+/// flat vs open-page DRAM timing at the given DRAM option (Full
+/// connection), sharded across worker threads. Row-locality-heavy
+/// programs gain from the open row; row-thrashing ones pay the conflict
+/// penalty — the regression test pins the winning case.
+pub fn open_page_at(scale: ExperimentScale, dram: DramKind) -> Vec<OpenPageRow> {
+    let benches = SplashBenchmark::all();
+    let cells = pool::parallel_map(benches.len() * 2, |j| {
+        let cfg = base_config(scale.seed)
+            .with_dram(dram)
+            .with_open_page(j % 2 == 1);
+        let m = must_run(benches[j / 2], scale.scale, &cfg);
+        (m.cycles, m.edp().value())
+    });
+    benches
+        .iter()
+        .enumerate()
+        .map(|(b, bench)| {
+            let (flat_cycles, flat_edp) = cells[b * 2];
+            let (open_cycles, open_edp) = cells[b * 2 + 1];
+            OpenPageRow {
+                bench: bench.to_string(),
+                flat_cycles,
+                open_cycles,
+                flat_edp,
+                open_edp,
+            }
+        })
+        .collect()
 }
 
 /// Mean of a per-benchmark statistic over a named group.
@@ -309,6 +446,85 @@ mod tests {
         assert!((rows[0].horizontal_mm - 7.5).abs() < 1e-9);
         assert!((rows[3].horizontal_mm - 2.5).abs() < 1e-9);
         assert!(rows[3].active_wire_mm < rows[0].active_wire_mm / 4.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_bit_for_bit() {
+        // The sharded harness must be invisible in the results: the
+        // threaded sweep must reproduce a plain serial loop bit-for-bit.
+        // (The serial reference is computed inline — no env-var games,
+        // which would race with concurrent tests reading MOT3D_THREADS.)
+        let scale = ExperimentScale::tiny();
+        let dram = DramKind::Weis3d;
+        let parallel = fig7_at(scale, dram);
+        let serial: Vec<Fig7Row> = SplashBenchmark::all()
+            .iter()
+            .map(|bench| {
+                let mut edp = [0.0; 4];
+                let mut cycles = [0u64; 4];
+                for (i, state) in PowerState::date16_states().into_iter().enumerate() {
+                    let cfg = base_config(scale.seed)
+                        .with_power_state(state)
+                        .with_dram(dram);
+                    let m = must_run(*bench, scale.scale, &cfg);
+                    edp[i] = m.edp().value();
+                    cycles[i] = m.cycles;
+                }
+                Fig7Row {
+                    bench: bench.to_string(),
+                    edp,
+                    exec_cycles: cycles,
+                }
+            })
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn open_page_beats_flat_on_row_locality_heavy_streaming() {
+        // A rank-0-dominated sequential streaming workload: during the
+        // serial sections only one core issues, so its cold L2 misses
+        // reach DRAM as consecutive lines of the same 4 KB row — the
+        // open-page controller's best case (row hits at 0.7× latency)
+        // and the regression the ROADMAP asked to pin down.
+        use mot3d_sim::run_spec;
+        use mot3d_workloads::WorkloadSpec;
+        let spec = WorkloadSpec {
+            serial_fraction: 0.9,
+            mem_ratio: 0.5,
+            write_fraction: 0.3,
+            working_set_bytes: 8 * 1024 * 1024, // never wraps: all cold misses
+            shared_fraction: 0.0,
+            locality: 0.95, // sequential walk
+            hot_fraction: 0.0,
+            imbalance: 0.0,
+            phases: 1,
+            total_ops: 30_000,
+            ifetch_miss_rate: 0.0, // keep the Miss bus free of code refills
+            ..SplashBenchmark::OceanContiguous.spec()
+        };
+        let flat = run_spec(&spec, &SimConfig::date16()).unwrap();
+        let open = run_spec(&spec, &SimConfig::date16().with_open_page(true)).unwrap();
+        assert_eq!(
+            flat.dram_accesses, open.dram_accesses,
+            "page policy is timing-only"
+        );
+        assert!(
+            open.cycles < flat.cycles,
+            "open-page must win on row locality: open {} vs flat {}",
+            open.cycles,
+            flat.cycles
+        );
+    }
+
+    #[test]
+    fn open_page_sweep_covers_all_benchmarks() {
+        let rows = open_page_at(ExperimentScale::tiny(), DramKind::OffChipDdr3);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.flat_cycles > 0 && r.open_cycles > 0, "{}", r.bench);
+            assert!(r.flat_edp > 0.0 && r.open_edp > 0.0, "{}", r.bench);
+        }
     }
 
     #[test]

@@ -17,14 +17,20 @@
 //! Absolute numbers are not expected to match the paper (different
 //! substrate); orderings, winners, and rough factors are (see
 //! `EXPERIMENTS.md`).
+//!
+//! The simulation sweeps shard their independent runs across worker
+//! threads ([`pool`]); set `MOT3D_THREADS` to bound the worker count
+//! (default: available parallelism). Results are bit-identical for every
+//! thread count.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod pool;
 pub mod report;
 
 pub use experiments::{
-    fig5, fig6, fig7, fig8, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row, Fig8Result,
-    Table1Row,
+    fig5, fig6, fig7, fig8, open_page_at, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row,
+    Fig8Result, OpenPageRow, Table1Row,
 };

@@ -1,0 +1,134 @@
+//! A minimal scoped-thread work-sharing pool for the experiment sweeps.
+//!
+//! The sweeps behind Fig. 6–8 are grids of completely independent
+//! (interconnect × power state × workload) simulations — embarrassingly
+//! parallel. This module shards such a grid across worker threads with a
+//! shared atomic job counter (work stealing by construction: fast workers
+//! simply take more cells), collects results in deterministic index
+//! order, and streams per-job completions to an observer as they finish.
+//!
+//! Each worker thread keeps its own thread-local
+//! [`mot3d_sim::runner::ClusterPool`] (via [`mot3d_sim::run_spec`]), so
+//! repeated configurations within a worker reset a cached cluster
+//! instead of rebuilding it.
+//!
+//! Worker count comes from the `MOT3D_THREADS` environment variable,
+//! defaulting to the machine's available parallelism. Results are
+//! bit-identical for every thread count, including 1.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves the worker-thread count for `jobs` independent jobs:
+/// `MOT3D_THREADS` if set (minimum 1), otherwise the machine's available
+/// parallelism, never more than the number of jobs.
+pub fn worker_threads(jobs: usize) -> usize {
+    let configured = std::env::var("MOT3D_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    configured.unwrap_or(hw).min(jobs.max(1))
+}
+
+/// Runs `jobs` independent jobs `f(0..jobs)` across [`worker_threads`]
+/// scoped threads and returns the results in index order (bit-identical
+/// to `(0..jobs).map(f).collect()` for deterministic `f`).
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have stopped.
+pub fn parallel_map<T, F>(jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_streamed(jobs, f, |_, _| {})
+}
+
+/// [`parallel_map`] that additionally calls `on_done(index, &result)` as
+/// each job completes (in completion order, possibly concurrently from
+/// several workers) — the streaming hook the experiment binaries use for
+/// progress reporting.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have stopped.
+pub fn parallel_map_streamed<T, F, C>(jobs: usize, f: F, on_done: C) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(usize, &T) + Sync,
+{
+    let threads = worker_threads(jobs);
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs)
+            .map(|i| {
+                let r = f(i);
+                on_done(i, &r);
+                r
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let r = f(i);
+                on_done(i, &r);
+                slots.lock().expect("no poisoned result slots")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("no poisoned result slots")
+        .into_iter()
+        .map(|r| r.expect("every job filled its slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = parallel_map(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_zero_and_one_job() {
+        assert_eq!(parallel_map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn streams_every_completion_exactly_once() {
+        let seen = Mutex::new(vec![0u32; 32]);
+        let out = parallel_map_streamed(
+            32,
+            |i| i,
+            |i, r| {
+                assert_eq!(i, *r);
+                seen.lock().unwrap()[i] += 1;
+            },
+        );
+        assert_eq!(out.len(), 32);
+        assert!(seen.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn worker_threads_never_exceeds_jobs() {
+        assert_eq!(worker_threads(1), 1);
+        assert!(worker_threads(1000) >= 1);
+    }
+}

@@ -1,7 +1,13 @@
 //! Table formatting for the experiment binaries.
 
-use crate::experiments::{Fig5Row, Fig6Row, Fig7Row, Table1Row};
+use crate::experiments::{Fig5Row, Fig6Row, Fig7Row, OpenPageRow, Table1Row};
 use std::fmt::Write as _;
+
+/// Streams one sweep-progress line to stderr (the experiment binaries'
+/// `progress` callback: rows appear as worker threads finish them).
+pub fn stream_progress(done: usize, total: usize, label: &str) {
+    eprintln!("  [{done:>2}/{total}] {label}");
+}
 
 /// Renders Table I.
 pub fn render_table1(rows: &[Table1Row]) -> String {
@@ -131,6 +137,32 @@ pub fn render_fig7(rows: &[Fig7Row], dram: &str) -> String {
             );
         }
         let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the open-page DRAM sweep.
+pub fn render_open_page(rows: &[OpenPageRow], dram: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Open-page DRAM vs flat latency (Full connection, DRAM {dram})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>12} {:>8} {:>11}",
+        "benchmark", "flat", "open-page", "delta", "EDP ratio"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>12} {:>12} {:>7.1}% {:>11.3}",
+            r.bench,
+            r.flat_cycles,
+            r.open_cycles,
+            r.cycle_delta_percent(),
+            r.open_edp / r.flat_edp,
+        );
     }
     out
 }

@@ -113,6 +113,30 @@ impl MissBus {
         None
     }
 
+    /// Wake hint for event-driven callers: the earliest cycle `>= now` at
+    /// which ticking the bus could complete or grant a transfer, assuming
+    /// [`MissBus::tick`] is then called at every cycle from that point.
+    /// `None` when the bus is idle. A waiting transfer with no grant in
+    /// flight is granted on the very next tick, so it reports `now`.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        match self.current {
+            Some((_, done_at)) => Some(done_at.max(now)),
+            None if self.queues.iter().any(|q| !q.is_empty()) => Some(now),
+            None => None,
+        }
+    }
+
+    /// Clears all queues, the in-flight transfer, and the round-robin
+    /// position back to construction time.
+    pub fn reset(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.rr = 0;
+        self.current = None;
+        self.granted = 0;
+    }
+
     /// Whether the bus and all queues are empty.
     pub fn is_idle(&self) -> bool {
         self.current.is_none() && self.queues.iter().all(|q| q.is_empty())

@@ -400,6 +400,25 @@ impl<P: Default + Clone> SetAssocCache<P> {
         out
     }
 
+    /// Empties the cache and resets replacement state and statistics to
+    /// construction time, without reallocating the line arrays. A cleared
+    /// cache behaves bit-identically to a freshly built one.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                slot.valid = false;
+                slot.dirty = false;
+                slot.data = 0;
+                slot.addr = LineAddr(0);
+                slot.payload = P::default();
+            }
+        }
+        for r in &mut self.replacers {
+            *r = SetReplacer::new(self.config.policy, self.config.associativity);
+        }
+        self.stats = CacheStats::default();
+    }
+
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
         self.sets

@@ -161,6 +161,26 @@ impl Dram {
         self.store.insert(line, data);
     }
 
+    /// Wake hint for event-driven callers: the controller's next free
+    /// command-issue slot while it is still occupied (`min_gap` back
+    /// pressure), or `None` when a command could issue immediately. The
+    /// DRAM holds no self-scheduled work — completions are events the
+    /// caller schedules from [`Dram::access`]'s return value — so this only
+    /// matters to callers that poll for issue opportunities.
+    pub fn next_activity(&self, now: u64) -> Option<u64> {
+        (self.next_issue > now).then_some(self.next_issue)
+    }
+
+    /// Clears the functional store, the open row, the controller occupancy,
+    /// and all counters back to construction time.
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.open_row = None;
+        self.next_issue = 0;
+        self.accesses = 0;
+        self.row_hits = 0;
+    }
+
     /// Total accesses issued.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -70,6 +70,13 @@ pub struct MotNetwork {
     transit_req: VecDeque<InFlight>,
     /// Per-bank, per-core head-of-line queues awaiting the bank grant.
     waiting: Vec<Vec<VecDeque<InFlight>>>,
+    /// Per-bank count of requests queued in `waiting` (grant-loop skip).
+    waiting_count: Vec<usize>,
+    /// Total requests queued across all banks (wake hint + fast path).
+    waiting_total: usize,
+    /// Scratch request bitmap reused by the grant loop (no per-cycle
+    /// allocation on the hot path).
+    req_scratch: Vec<bool>,
     /// Per-bank arbitration trees over cores.
     arbiters: Vec<ArbitrationTree>,
     arrivals: VecDeque<BankArrival>,
@@ -107,6 +114,9 @@ impl MotNetwork {
             waiting: (0..banks)
                 .map(|_| (0..cores).map(|_| VecDeque::new()).collect())
                 .collect(),
+            waiting_count: vec![0; banks],
+            waiting_total: 0,
+            req_scratch: vec![false; cores],
             arbiters: (0..banks).map(|_| ArbitrationTree::new(cores)).collect(),
             arrivals: VecDeque::new(),
             transit_resp: VecDeque::new(),
@@ -166,23 +176,36 @@ impl Interconnect for MotNetwork {
             }
             let f = self.transit_req.pop_front().expect("checked non-empty");
             self.waiting[f.bank][f.request.core].push_back(f);
+            self.waiting_count[f.bank] += 1;
+            self.waiting_total += 1;
         }
 
-        // 2. One grant per bank per cycle, round-robin over cores.
-        for bank in 0..self.waiting.len() {
-            let requests: Vec<bool> = self.waiting[bank].iter().map(|q| !q.is_empty()).collect();
-            if let Some(core) = self.arbiters[bank].grant(&requests) {
-                let f = self.waiting[bank][core]
-                    .pop_front()
-                    .expect("granted core has a waiting request");
-                let transit = now.saturating_sub(f.injected_at);
-                self.stats.total_request_latency += transit;
-                self.stats.max_request_latency = self.stats.max_request_latency.max(transit);
-                self.arrivals.push_back(BankArrival {
-                    request: f.request,
-                    bank,
-                    at_cycle: now,
-                });
+        // 2. One grant per bank per cycle, round-robin over cores. Only
+        // banks with waiters are visited, through a reused bitmap — this
+        // is the simulator's hottest loop.
+        if self.waiting_total > 0 {
+            for bank in 0..self.waiting.len() {
+                if self.waiting_count[bank] == 0 {
+                    continue;
+                }
+                for core in 0..self.req_scratch.len() {
+                    self.req_scratch[core] = !self.waiting[bank][core].is_empty();
+                }
+                if let Some(core) = self.arbiters[bank].grant(&self.req_scratch) {
+                    let f = self.waiting[bank][core]
+                        .pop_front()
+                        .expect("granted core has a waiting request");
+                    self.waiting_count[bank] -= 1;
+                    self.waiting_total -= 1;
+                    let transit = now.saturating_sub(f.injected_at);
+                    self.stats.total_request_latency += transit;
+                    self.stats.max_request_latency = self.stats.max_request_latency.max(transit);
+                    self.arrivals.push_back(BankArrival {
+                        request: f.request,
+                        bank,
+                        at_cycle: now,
+                    });
+                }
             }
         }
 
@@ -239,6 +262,45 @@ impl Interconnect for MotNetwork {
 
     fn pop_delivery(&mut self) -> Option<CoreDelivery> {
         self.deliveries.pop_front()
+    }
+
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        // A non-empty wait queue means an arbitration grant fires on the
+        // very next tick; otherwise the earliest landing transit (requests
+        // are FIFO with a fixed latency, so the front is the minimum) or
+        // response delivery decides. Pending arrivals/deliveries count as
+        // immediate activity — the caller has not consumed them yet.
+        if !self.arrivals.is_empty() || !self.deliveries.is_empty() || self.waiting_total > 0 {
+            return Some(now);
+        }
+        let req = self.transit_req.front().map(|f| f.arrives_at);
+        let resp = self.transit_resp.front().map(|(at, _)| *at);
+        match (req, resp) {
+            (Some(a), Some(b)) => Some(a.min(b).max(now)),
+            (Some(a), None) => Some(a.max(now)),
+            (None, Some(b)) => Some(b.max(now)),
+            (None, None) => None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.transit_req.clear();
+        for bank in &mut self.waiting {
+            for q in bank {
+                q.clear();
+            }
+        }
+        self.waiting_count.fill(0);
+        self.waiting_total = 0;
+        for arb in &mut self.arbiters {
+            arb.reset();
+        }
+        self.arrivals.clear();
+        self.transit_resp.clear();
+        self.deliveries.clear();
+        self.dynamic_energy = Joules::ZERO;
+        self.stats = InterconnectStats::default();
+        self.last_tick = None;
     }
 
     fn oneway_latency_hint(&self) -> u64 {

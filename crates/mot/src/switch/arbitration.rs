@@ -89,6 +89,12 @@ impl ArbitrationTree {
         self.cells.len()
     }
 
+    /// Restores every cell's round-robin state to construction time, so a
+    /// reset tree grants in exactly the same order as a fresh one.
+    pub fn reset(&mut self) {
+        self.cells.fill(Arbiter2::new());
+    }
+
     /// One arbitration round over the request bitmap; returns the granted
     /// requester index, or `None` if no line is asserted.
     ///

@@ -117,6 +117,28 @@ pub trait Interconnect {
     /// Pops one response delivered back at a core.
     fn pop_delivery(&mut self) -> Option<CoreDelivery>;
 
+    /// Wake hint for event-driven callers: the earliest cycle `>= now` at
+    /// which ticking this interconnect could change observable state
+    /// (a transit landing, an arbitration grant, a response delivery), or
+    /// `None` when it is completely idle.
+    ///
+    /// `now` is the next cycle the caller would tick. The contract is that
+    /// a caller who ticks at every returned cycle (and at every cycle it
+    /// injects something) observes *exactly* the same arrivals and
+    /// deliveries as one ticking every cycle — skipped cycles must be
+    /// provable no-ops. The conservative default, `Some(now)`, claims
+    /// activity every cycle and therefore disables skipping.
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
+    /// Resets traffic state to construction time: in-flight messages,
+    /// arbitration/round-robin positions, statistics, and accumulated
+    /// dynamic energy are cleared. Topology and derived latency/energy
+    /// models persist, which is what makes resetting much cheaper than
+    /// rebuilding.
+    fn reset(&mut self);
+
     /// Uncontended one-way transit in cycles (used by the simulator to
     /// charge coherence control messages without modelling their full
     /// transport).

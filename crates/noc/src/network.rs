@@ -324,6 +324,27 @@ impl Interconnect for NocNetwork {
         self.deliveries.pop_front()
     }
 
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        // The engine is already event-driven internally: the next scheduled
+        // packet event is the only thing that can change state. Pending
+        // arrivals/deliveries the caller has not popped count as immediate.
+        if !self.arrivals.is_empty() || !self.deliveries.is_empty() {
+            return Some(now);
+        }
+        self.events.peek().map(|Reverse(ev)| ev.time.max(now))
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.seq = 0;
+        self.port_free.clear();
+        self.bus_free.fill(0);
+        self.arrivals.clear();
+        self.deliveries.clear();
+        self.dynamic_energy = Joules::ZERO;
+        self.stats = InterconnectStats::default();
+    }
+
     fn oneway_latency_hint(&self) -> u64 {
         self.hint
     }

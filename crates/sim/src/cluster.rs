@@ -10,6 +10,21 @@
 //! → response) *is* the L2 access latency the paper measures (Fig. 6(a)).
 //! L2 misses queue on the Miss bus and pay the Table I DRAM latency.
 //!
+//! ## Event-driven execution
+//!
+//! [`Cluster::step`] advances exactly one cycle; [`Cluster::run_to_completion`],
+//! [`Cluster::run_until`], and [`Cluster::drain`] are event-driven: when no
+//! core can issue at the current cycle they consult every component's wake
+//! hint ([`Interconnect::next_activity`], [`MissBus::next_activity`],
+//! [`Dram::next_activity`], the action heap, and the cores' compute
+//! timers) and jump `now` straight to the earliest upcoming event. Skipped
+//! cycles are provably no-ops, so the event-driven paths produce
+//! bit-identical metrics to stepping every cycle — the equivalence
+//! property tests in `tests/event_driven.rs` enforce this — while cutting
+//! wall-clock time by an order of magnitude in the low-IPC regimes the
+//! paper's gated power states create (every core stalled on a 200-cycle
+//! DRAM miss).
+//!
 //! ## Functional model (atomic-at-home-node)
 //!
 //! Architectural state (line tokens, directory, golden memory) updates
@@ -906,7 +921,80 @@ impl Cluster {
         self.now += 1;
     }
 
-    /// Runs to completion.
+    /// The earliest upcoming cycle at which stepping can change state, or
+    /// `None` when every component is idle (quiescence or deadlock).
+    ///
+    /// Returns `self.now` (no skip possible) when a core is ready to
+    /// issue, a pending barrier release is due, or any component reports
+    /// immediate activity. Every cycle strictly between `self.now` and the
+    /// returned value is a provable no-op: all cores are blocked past it,
+    /// no scheduled action is due, the Miss bus neither completes nor
+    /// grants, and the interconnect neither lands a transit nor arbitrates
+    /// (its grant logic does not mutate round-robin state when no request
+    /// is asserted, so skipping preserves grant order bit-for-bit).
+    fn next_wake(&self) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let merge = |w: &mut Option<u64>, t: u64| *w = Some(w.map_or(t, |x| x.min(t)));
+        if !self.paused {
+            // A paused cluster never issues, so core states cannot create
+            // activity; unpaused, a Ready core issues this very cycle.
+            let mut any_barrier = false;
+            let mut all_blocked = true;
+            for c in &self.cores {
+                match c.status {
+                    CoreStatus::Ready => return Some(self.now),
+                    CoreStatus::Computing { until } => {
+                        all_blocked = false;
+                        merge(&mut wake, until);
+                    }
+                    CoreStatus::AtBarrier { .. } => any_barrier = true,
+                    CoreStatus::Finished => {}
+                    CoreStatus::WaitingMem | CoreStatus::WaitingIFetch => all_blocked = false,
+                }
+            }
+            // Everyone unfinished is at the barrier: the release fires on
+            // the next step's barrier check.
+            if any_barrier && all_blocked {
+                return Some(self.now);
+            }
+        }
+        if let Some(Reverse(s)) = self.events.peek() {
+            merge(&mut wake, s.at);
+        }
+        if let Some(t) = self.bus.next_activity(self.now) {
+            merge(&mut wake, t);
+        }
+        if let Some(t) = self.interconnect.next_activity(self.now) {
+            merge(&mut wake, t);
+        }
+        if let Some(t) = self.dram.next_activity(self.now) {
+            merge(&mut wake, t);
+        }
+        wake.map(|w| w.max(self.now))
+    }
+
+    /// Event-driven advance: jumps `now` to the next wake-up (clamped to
+    /// `limit`) and steps once. With no upcoming wake-up, jumps straight
+    /// to `limit` so the caller's cycle-limit check fires — exactly where
+    /// per-cycle stepping would have idled its way to.
+    fn advance(&mut self, limit: u64) {
+        match self.next_wake() {
+            Some(wake) => {
+                if wake > self.now {
+                    self.now = wake.min(limit);
+                }
+            }
+            None => self.now = limit,
+        }
+        if self.now < limit {
+            self.step();
+        }
+    }
+
+    /// Runs to completion, event-driven: idle stretches where every core
+    /// is blocked are skipped in one jump instead of ticked cycle by
+    /// cycle. Produces bit-identical metrics to calling [`Cluster::step`]
+    /// in a loop.
     ///
     /// # Errors
     ///
@@ -917,13 +1005,33 @@ impl Cluster {
             if self.now >= self.config.max_cycles {
                 return Err(SimError::CycleLimit(self.config.max_cycles));
             }
-            self.step();
+            self.advance(self.config.max_cycles);
         }
         Ok(())
     }
 
+    /// Advances (event-driven) until `cycle` is reached or the cluster
+    /// finishes, whichever comes first. State afterwards is bit-identical
+    /// to `while !is_done() && now() < cycle { step() }` — the idle cycles
+    /// between the last event before `cycle` and `cycle` itself change
+    /// nothing.
+    pub fn run_until(&mut self, cycle: u64) {
+        while !self.is_done() && self.now < cycle {
+            match self.next_wake() {
+                Some(wake) if wake < cycle => {
+                    if wake > self.now {
+                        self.now = wake;
+                    }
+                    self.step();
+                }
+                _ => self.now = cycle,
+            }
+        }
+    }
+
     /// Drains all in-flight work without issuing new instructions
-    /// (pre-transition quiescence).
+    /// (pre-transition quiescence). Event-driven like
+    /// [`Cluster::run_to_completion`].
     ///
     /// # Errors
     ///
@@ -936,9 +1044,70 @@ impl Cluster {
                 self.paused = false;
                 return Err(SimError::CycleLimit(limit));
             }
-            self.step();
+            self.advance(limit);
         }
         self.paused = false;
+        Ok(())
+    }
+
+    /// Restores the cluster to its freshly-constructed state in the
+    /// *current* configuration and re-seeds the workload streams — without
+    /// reallocating the caches or re-deriving the physical models, which
+    /// is what makes sweeps (fig6/fig7/fig8, property tests) much cheaper
+    /// than rebuilding per run. A reset cluster behaves bit-identically to
+    /// a newly built one: caches, DRAM, golden memory, the Miss bus's and
+    /// interconnect's round-robin state, and all counters return to cycle
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::StreamCountMismatch`] if the stream count does not
+    /// match the active core count.
+    pub fn reset(&mut self, streams: Vec<CoreStream>) -> Result<(), SimError> {
+        if streams.len() != self.cores.len() {
+            return Err(SimError::StreamCountMismatch {
+                streams: streams.len(),
+                active_cores: self.cores.len(),
+            });
+        }
+        for (core, stream) in self.cores.iter_mut().zip(streams) {
+            core.stream = stream;
+            core.status = CoreStatus::Ready;
+            core.l1.clear();
+            core.busy_cycles = 0;
+            core.retired = 0;
+            core.finished_at = None;
+        }
+        for (b, bank) in self.banks.iter_mut().enumerate() {
+            bank.cache.clear();
+            bank.powered = self.mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b));
+            bank.free_at = 0;
+            bank.reads = 0;
+            bank.writes = 0;
+        }
+        self.interconnect.reset();
+        self.bus.reset();
+        self.dram.reset();
+        if let Some(golden) = &mut self.golden {
+            *golden = GoldenMemory::new();
+        }
+        self.txs.clear();
+        self.next_tag = 0;
+        self.store_tokens = 0;
+        self.events.clear();
+        self.seq = 0;
+        self.now = 0;
+        self.paused = false;
+        self.l1_hits = 0;
+        self.l1_misses = 0;
+        self.l2_hits = 0;
+        self.l2_misses = 0;
+        self.dram_accesses = 0;
+        self.invalidations = 0;
+        self.recalls = 0;
+        self.l2_latency = LatencyStats::default();
+        self.l1_reads = 0;
+        self.l1_writes = 0;
         Ok(())
     }
 

@@ -23,7 +23,10 @@ impl std::fmt::Display for InterconnectChoice {
 }
 
 /// Full cluster configuration for one run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Hashable so run drivers can key reusable [`crate::Cluster`]s by
+/// configuration (see [`crate::runner::ClusterPool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Interconnect under test.
     pub interconnect: InterconnectChoice,
@@ -76,6 +79,12 @@ impl SimConfig {
     /// Same configuration with a different DRAM option.
     pub fn with_dram(mut self, dram: DramKind) -> Self {
         self.dram = dram;
+        self
+    }
+
+    /// Same configuration with the open-page DRAM refinement toggled.
+    pub fn with_open_page(mut self, open_page: bool) -> Self {
+        self.dram_open_page = open_page;
         self
     }
 }

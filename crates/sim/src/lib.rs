@@ -39,4 +39,4 @@ pub use cluster::Cluster;
 pub use config::{InterconnectChoice, SimConfig};
 pub use error::SimError;
 pub use metrics::Metrics;
-pub use runner::{run_benchmark, run_spec};
+pub use runner::{run_benchmark, run_spec, ClusterPool};

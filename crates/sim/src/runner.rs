@@ -1,12 +1,105 @@
 //! One-call experiment driver: (program, configuration) → [`Metrics`].
+//!
+//! Sweeps (fig6/fig7/fig8, property tests) run hundreds of
+//! (configuration, workload) pairs. Building a [`Cluster`] allocates 16
+//! L1s, 32 L2 banks, and re-derives the interconnect's physical models;
+//! [`ClusterPool`] amortises all of that by caching one cluster per
+//! configuration and [`Cluster::reset`]-ing it between runs. [`run_spec`]
+//! uses a thread-local pool, so every caller — including each worker
+//! thread of `mot3d-bench`'s parallel harness — gets the reuse for free
+//! while staying bit-deterministic.
 
 use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::Metrics;
 use mot3d_workloads::{streams, SplashBenchmark, WorkloadSpec};
+use std::cell::RefCell;
+use std::collections::{hash_map::Entry, HashMap};
+
+/// A cache of reusable clusters, keyed by configuration.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_sim::runner::ClusterPool;
+/// use mot3d_sim::SimConfig;
+/// use mot3d_workloads::SplashBenchmark;
+///
+/// let mut pool = ClusterPool::new();
+/// let cfg = SimConfig::date16();
+/// let a = pool.run_spec(&SplashBenchmark::Fft.spec().scaled(0.002), &cfg)?;
+/// // Second run reuses (resets) the cached cluster: bit-identical result.
+/// let b = pool.run_spec(&SplashBenchmark::Fft.spec().scaled(0.002), &cfg)?;
+/// assert_eq!(a.cycles, b.cycles);
+/// assert_eq!(pool.len(), 1);
+/// # Ok::<(), mot3d_sim::SimError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ClusterPool {
+    clusters: HashMap<SimConfig, Cluster>,
+}
+
+impl ClusterPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ClusterPool::default()
+    }
+
+    /// Number of distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the pool holds no clusters yet.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Drops every cached cluster (frees their cache arrays).
+    pub fn clear(&mut self) {
+        self.clusters.clear();
+    }
+
+    /// Runs a workload spec on a cluster configuration to completion,
+    /// reusing (or creating) the pooled cluster for that configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from construction, reset, or the run.
+    pub fn run_spec(
+        &mut self,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+    ) -> Result<Metrics, SimError> {
+        let active = config.power_state.active_cores();
+        let fresh = streams(spec, active, config.seed);
+        let cluster = match self.clusters.entry(*config) {
+            Entry::Occupied(e) => {
+                let cluster = e.into_mut();
+                cluster.reset(fresh)?;
+                cluster
+            }
+            Entry::Vacant(v) => v.insert(Cluster::new(*config, fresh)?),
+        };
+        cluster.run_to_completion()?;
+        cluster.verify_against_golden();
+        Ok(cluster.metrics(format!(
+            "{} @ {} @ {} @ {}",
+            spec.name, config.interconnect, config.power_state, config.dram
+        )))
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<ClusterPool> = RefCell::new(ClusterPool::new());
+}
 
 /// Runs a workload spec on a cluster configuration to completion.
+///
+/// Reuses a thread-local [`ClusterPool`] under the hood: repeated calls
+/// with the same configuration reset the cached cluster instead of
+/// rebuilding it. Results are bit-identical to a fresh build either way.
 ///
 /// # Errors
 ///
@@ -25,14 +118,7 @@ use mot3d_workloads::{streams, SplashBenchmark, WorkloadSpec};
 /// # Ok::<(), mot3d_sim::SimError>(())
 /// ```
 pub fn run_spec(spec: &WorkloadSpec, config: &SimConfig) -> Result<Metrics, SimError> {
-    let active = config.power_state.active_cores();
-    let mut cluster = Cluster::new(*config, streams(spec, active, config.seed))?;
-    cluster.run_to_completion()?;
-    cluster.verify_against_golden();
-    Ok(cluster.metrics(format!(
-        "{} @ {} @ {} @ {}",
-        spec.name, config.interconnect, config.power_state, config.dram
-    )))
+    POOL.with(|pool| pool.borrow_mut().run_spec(spec, config))
 }
 
 /// Runs one of the eight SPLASH-2-style programs at a given length scale

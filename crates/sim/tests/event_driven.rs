@@ -1,0 +1,189 @@
+//! Equivalence of the event-driven engine with per-cycle stepping.
+//!
+//! `run_to_completion`, `run_until`, and `drain` skip provably idle
+//! cycles. These tests pin down the contract that makes that refactor
+//! safe: the skipping paths must be *observationally invisible* —
+//! bit-identical `Metrics` against a cluster advanced with `step()` in a
+//! loop — on random workloads, every interconnect, every power state,
+//! and across `drain`/`switch_power_state` at a skip boundary.
+
+use mot3d_mot::PowerState;
+use mot3d_noc::NocTopologyKind;
+use mot3d_sim::{Cluster, InterconnectChoice, SimConfig};
+use mot3d_workloads::{streams, SplashBenchmark, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Per-cycle baseline: advances one cycle at a time, no skipping.
+fn step_to_completion(cluster: &mut Cluster) {
+    while !cluster.is_done() {
+        assert!(cluster.now() < 30_000_000, "per-cycle baseline ran away");
+        cluster.step();
+    }
+}
+
+/// The seven tier-1 interconnect/power-state combinations: the MoT in all
+/// four Table I states, and the three packet-switched baselines (Full
+/// state only — NoCs reject gating).
+fn config_for(pick: usize) -> SimConfig {
+    let mut cfg = match pick {
+        0..=3 => SimConfig::date16().with_power_state(PowerState::date16_states()[pick]),
+        4 => {
+            SimConfig::date16().with_interconnect(InterconnectChoice::Noc(NocTopologyKind::Mesh3d))
+        }
+        5 => SimConfig::date16()
+            .with_interconnect(InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh)),
+        _ => SimConfig::date16()
+            .with_interconnect(InterconnectChoice::Noc(NocTopologyKind::HybridBusTree)),
+    };
+    cfg.check_golden = true;
+    cfg
+}
+
+/// A small random-but-valid workload spec (kept small: the per-cycle
+/// baseline pays for every idle cycle).
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0usize..8,
+        0.0..0.5f64,   // serial fraction
+        0.05..0.45f64, // mem ratio
+        0.0..0.6f64,   // write fraction
+        0.3..0.95f64,  // locality
+        0.0..0.8f64,   // hot fraction
+        1u32..5,       // phases
+        1_000u64..6_000,
+    )
+        .prop_map(
+            |(bench, serial, mem, write, locality, hot, phases, ops)| WorkloadSpec {
+                serial_fraction: serial,
+                mem_ratio: mem,
+                write_fraction: write,
+                locality,
+                hot_fraction: hot,
+                phases,
+                total_ops: ops,
+                ..SplashBenchmark::all()[bench].spec()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole invariant: skipping idle cycles changes nothing —
+    /// not cycles, not any counter, not a single energy figure.
+    #[test]
+    fn run_to_completion_matches_per_cycle_stepping(
+        spec in spec_strategy(),
+        pick in 0usize..7,
+    ) {
+        let cfg = config_for(pick);
+        let ranks = streams(&spec, cfg.power_state.active_cores(), cfg.seed);
+        let mut stepped = Cluster::new(cfg, ranks.clone()).expect("stepped cluster");
+        let mut skipped = Cluster::new(cfg, ranks).expect("skipped cluster");
+        step_to_completion(&mut stepped);
+        skipped.run_to_completion().expect("event-driven run completes");
+        stepped.verify_against_golden();
+        skipped.verify_against_golden();
+        prop_assert_eq!(stepped.metrics("run"), skipped.metrics("run"));
+    }
+
+    /// `run_until` lands on the same cycle with the same state as the
+    /// per-cycle loop, wherever the boundary falls relative to events.
+    #[test]
+    fn run_until_matches_per_cycle_stepping(
+        spec in spec_strategy(),
+        boundary in 500u64..20_000,
+    ) {
+        let cfg = config_for(0);
+        let ranks = streams(&spec, cfg.power_state.active_cores(), cfg.seed);
+        let mut stepped = Cluster::new(cfg, ranks.clone()).expect("stepped cluster");
+        let mut skipped = Cluster::new(cfg, ranks).expect("skipped cluster");
+        while !stepped.is_done() && stepped.now() < boundary {
+            stepped.step();
+        }
+        skipped.run_until(boundary);
+        prop_assert_eq!(stepped.now(), skipped.now());
+        prop_assert_eq!(stepped.metrics("mid"), skipped.metrics("mid"));
+        // And the remainder of the run still agrees.
+        step_to_completion(&mut stepped);
+        skipped.run_to_completion().expect("tail completes");
+        prop_assert_eq!(stepped.metrics("end"), skipped.metrics("end"));
+    }
+}
+
+/// `drain` + `switch_power_state` at a skip boundary: an event-driven
+/// cluster that jumped over idle stretches must gate, flush, and resume
+/// exactly like the per-cycle one.
+#[test]
+fn drain_and_switch_at_a_skip_boundary_match_stepping() {
+    let mut spec = SplashBenchmark::Fft.spec().scaled(0.005);
+    spec.working_set_bytes = 128 * 1024; // enough dirty lines to flush
+    let mut cfg = SimConfig::date16();
+    cfg.check_golden = true;
+    let ranks = streams(&spec, 16, 7);
+    let mut stepped = Cluster::new(cfg, ranks.clone()).unwrap();
+    let mut skipped = Cluster::new(cfg, ranks).unwrap();
+
+    for boundary in [15_000u64, 30_000] {
+        while !stepped.is_done() && stepped.now() < boundary {
+            stepped.step();
+        }
+        skipped.run_until(boundary);
+        assert_eq!(stepped.now(), skipped.now(), "skip boundary diverged");
+        // Gate on the first pass, un-gate on the second; both clusters
+        // drain (event-driven) and flush from identical states.
+        let target = if boundary == 15_000 {
+            PowerState::pc16_mb8()
+        } else {
+            PowerState::full()
+        };
+        stepped.switch_power_state(target).unwrap();
+        skipped.switch_power_state(target).unwrap();
+        assert_eq!(stepped.now(), skipped.now(), "post-drain cycle diverged");
+        stepped.verify_against_golden();
+        skipped.verify_against_golden();
+    }
+
+    step_to_completion(&mut stepped);
+    skipped.run_to_completion().unwrap();
+    stepped.verify_against_golden();
+    skipped.verify_against_golden();
+    assert_eq!(stepped.metrics("end"), skipped.metrics("end"));
+}
+
+/// `Cluster::reset` reuse: a reset cluster — even one dirtied by a
+/// different workload in between — reproduces a fresh build bit-for-bit.
+#[test]
+fn reset_cluster_matches_fresh_build() {
+    let spec = SplashBenchmark::Radix.spec().scaled(0.004);
+    let mut cfg = SimConfig::date16();
+    cfg.check_golden = true;
+
+    let mut cluster = Cluster::new(cfg, streams(&spec, 16, cfg.seed)).unwrap();
+    cluster.run_to_completion().unwrap();
+    cluster.verify_against_golden();
+    let fresh = cluster.metrics("run");
+
+    // Dirty every structure with an unrelated workload…
+    let other = SplashBenchmark::Fmm.spec().scaled(0.003);
+    cluster.reset(streams(&other, 16, 99)).unwrap();
+    cluster.run_to_completion().unwrap();
+
+    // …then reset back to the original and compare bit-for-bit.
+    cluster.reset(streams(&spec, 16, cfg.seed)).unwrap();
+    cluster.run_to_completion().unwrap();
+    cluster.verify_against_golden();
+    assert_eq!(fresh, cluster.metrics("run"));
+}
+
+/// Resetting with the wrong rank count is rejected, like construction.
+#[test]
+fn reset_rejects_stream_count_mismatch() {
+    let spec = SplashBenchmark::Fft.spec().scaled(0.002);
+    let mut cluster = Cluster::new(SimConfig::date16(), streams(&spec, 16, 1)).unwrap();
+    let err = cluster.reset(streams(&spec, 4, 1)).unwrap_err();
+    assert!(
+        err.to_string().contains("stream"),
+        "unexpected error: {err}"
+    );
+}
