@@ -1,37 +1,68 @@
 //! Runs every experiment and prints an EXPERIMENTS.md-ready report.
 
+use std::time::Instant;
+
+use mot3d_bench::perf::Recorder;
 use mot3d_bench::report;
-use mot3d_bench::{fig5, fig6, fig7, fig8, open_page_at, table1, ExperimentScale};
+use mot3d_bench::{fig5, fig6, fig7, fig7_at, open_page_at, table1, ExperimentScale};
 use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let threads = mot3d_bench::experiments::sweep_threads();
     eprintln!(
         "running all experiments at scale {} on {} threads ...",
-        scale.scale,
-        mot3d_bench::experiments::sweep_threads(),
+        scale.scale, threads,
     );
+    let mut perf = Recorder::new(scale.scale, threads);
+
     println!("== Table I ==");
     print!("{}", report::render_table1(&table1()));
     println!("\n== Fig. 5 ==");
     print!("{}", report::render_fig5(&fig5()));
+
     println!("\n== Fig. 6 ==");
-    print!("{}", report::render_fig6(&fig6(scale)));
+    let t0 = Instant::now();
+    let f6 = fig6(scale);
+    let wall = t0.elapsed();
+    let table = report::render_fig6(&f6);
+    print!("{table}");
+    perf.add("fig6", wall, f6.len(), &table);
+
     println!("\n== Fig. 7 (200 ns DRAM) ==");
+    let t0 = Instant::now();
     let f7 = fig7(scale);
-    print!("{}", report::render_fig7(&f7, "200 ns"));
+    let wall = t0.elapsed();
+    let table = report::render_fig7(&f7, "200 ns");
+    print!("{table}");
     println!();
     print!("{}", report::render_fig7_claims(&f7));
+    perf.add("fig7@200ns", wall, f7.len(), &table);
+
     println!("\n== Fig. 8 ==");
-    let f8 = fig8(scale);
-    print!("{}", report::render_fig7(&f8.at_63ns, "63 ns (Wide I/O)"));
+    let t0 = Instant::now();
+    let at_63ns = fig7_at(scale, DramKind::WideIo);
+    let wall_63 = t0.elapsed();
+    let t0 = Instant::now();
+    let at_42ns = fig7_at(scale, DramKind::Weis3d);
+    let wall_42 = t0.elapsed();
+    let table_63 = report::render_fig7(&at_63ns, "63 ns (Wide I/O)");
+    print!("{table_63}");
     println!();
-    print!("{}", report::render_fig7(&f8.at_42ns, "42 ns (Weis 3-D)"));
+    let table_42 = report::render_fig7(&at_42ns, "42 ns (Weis 3-D)");
+    print!("{table_42}");
     println!();
-    print!("{}", report::render_fig7_claims(&f8.at_63ns));
+    print!("{}", report::render_fig7_claims(&at_63ns));
+    perf.add("fig8@63ns", wall_63, at_63ns.len(), &table_63);
+    perf.add("fig8@42ns", wall_42, at_42ns.len(), &table_42);
+
     println!("\n== Open-page DRAM ==");
-    print!(
-        "{}",
-        report::render_open_page(&open_page_at(scale, DramKind::OffChipDdr3), "200 ns")
-    );
+    let t0 = Instant::now();
+    let open = open_page_at(scale, DramKind::OffChipDdr3);
+    let wall = t0.elapsed();
+    let table = report::render_open_page(&open, "200 ns");
+    print!("{table}");
+    perf.add("open_page@200ns", wall, open.len(), &table);
+
+    perf.write_if_requested();
 }

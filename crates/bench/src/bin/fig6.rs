@@ -1,15 +1,25 @@
 //! Regenerates Fig. 6: the four-interconnect comparison.
 
+use std::time::Instant;
+
 use mot3d_bench::experiments::fig6_streamed;
+use mot3d_bench::perf::Recorder;
 use mot3d_bench::{report, ExperimentScale};
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let threads = mot3d_bench::experiments::sweep_threads();
     eprintln!(
         "running Fig. 6 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
-        scale.scale,
-        mot3d_bench::experiments::sweep_threads(),
+        scale.scale, threads,
     );
+    let t0 = Instant::now();
     let rows = fig6_streamed(scale, report::stream_progress);
-    print!("{}", report::render_fig6(&rows));
+    let wall = t0.elapsed();
+    let table = report::render_fig6(&rows);
+    print!("{table}");
+
+    let mut perf = Recorder::new(scale.scale, threads);
+    perf.add("fig6", wall, rows.len(), &table);
+    perf.write_if_requested();
 }

@@ -1,18 +1,28 @@
 //! Regenerates Fig. 7: EDP and execution time across power states @ 200 ns.
 
+use std::time::Instant;
+
 use mot3d_bench::experiments::fig7_at_streamed;
+use mot3d_bench::perf::Recorder;
 use mot3d_bench::{report, ExperimentScale};
 use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let threads = mot3d_bench::experiments::sweep_threads();
     eprintln!(
         "running Fig. 7 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
-        scale.scale,
-        mot3d_bench::experiments::sweep_threads(),
+        scale.scale, threads,
     );
+    let t0 = Instant::now();
     let rows = fig7_at_streamed(scale, DramKind::OffChipDdr3, report::stream_progress);
-    print!("{}", report::render_fig7(&rows, "200 ns"));
+    let wall = t0.elapsed();
+    let table = report::render_fig7(&rows, "200 ns");
+    print!("{table}");
     println!();
     print!("{}", report::render_fig7_claims(&rows));
+
+    let mut perf = Recorder::new(scale.scale, threads);
+    perf.add("fig7@200ns", wall, rows.len(), &table);
+    perf.write_if_requested();
 }

@@ -1,23 +1,44 @@
 //! Regenerates Fig. 8: the power-state sweep at 63 ns and 42 ns DRAM,
 //! plus the open-page DRAM refinement sweep (ROADMAP item).
 
+use std::time::Instant;
+
 use mot3d_bench::experiments::fig7_at_streamed;
+use mot3d_bench::perf::Recorder;
 use mot3d_bench::{open_page_at, report, ExperimentScale};
 use mot3d_mem::dram::DramKind;
 
 fn main() {
     let scale = ExperimentScale::from_env();
+    let threads = mot3d_bench::experiments::sweep_threads();
     eprintln!(
         "running Fig. 8 at scale {} on {} threads (MOT3D_SCALE / MOT3D_THREADS to change)...",
-        scale.scale,
-        mot3d_bench::experiments::sweep_threads(),
+        scale.scale, threads,
     );
+    let mut perf = Recorder::new(scale.scale, threads);
+
+    let t0 = Instant::now();
     let at_63ns = fig7_at_streamed(scale, DramKind::WideIo, report::stream_progress);
+    let wall_63 = t0.elapsed();
+    let t0 = Instant::now();
     let at_42ns = fig7_at_streamed(scale, DramKind::Weis3d, report::stream_progress);
-    print!("{}", report::render_fig7(&at_63ns, "63 ns (Wide I/O)"));
+    let wall_42 = t0.elapsed();
+
+    let table_63 = report::render_fig7(&at_63ns, "63 ns (Wide I/O)");
+    print!("{table_63}");
     println!();
-    print!("{}", report::render_fig7(&at_42ns, "42 ns (Weis 3-D)"));
+    let table_42 = report::render_fig7(&at_42ns, "42 ns (Weis 3-D)");
+    print!("{table_42}");
     println!();
+
+    let t0 = Instant::now();
     let open = open_page_at(scale, DramKind::OffChipDdr3);
-    print!("{}", report::render_open_page(&open, "200 ns"));
+    let wall_open = t0.elapsed();
+    let table_open = report::render_open_page(&open, "200 ns");
+    print!("{table_open}");
+
+    perf.add("fig8@63ns", wall_63, at_63ns.len(), &table_63);
+    perf.add("fig8@42ns", wall_42, at_42ns.len(), &table_42);
+    perf.add("open_page@200ns", wall_open, open.len(), &table_open);
+    perf.write_if_requested();
 }

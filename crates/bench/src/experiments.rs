@@ -329,22 +329,10 @@ pub fn fig7(scale: ExperimentScale) -> Vec<Fig7Row> {
     fig7_at(scale, DramKind::OffChipDdr3)
 }
 
-/// Fig. 8: the same power-state sweep at the two on-chip DRAM latencies.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Fig8Result {
-    /// Rows at 63 ns (Wide I/O).
-    pub at_63ns: Vec<Fig7Row>,
-    /// Rows at 42 ns (Weis 3-D DRAM).
-    pub at_42ns: Vec<Fig7Row>,
-}
-
-/// Runs Fig. 8.
-pub fn fig8(scale: ExperimentScale) -> Fig8Result {
-    Fig8Result {
-        at_63ns: fig7_at(scale, DramKind::WideIo),
-        at_42ns: fig7_at(scale, DramKind::Weis3d),
-    }
-}
+// Fig. 8 is the same power-state sweep at the two on-chip DRAM
+// latencies: the `fig8` and `all` binaries call
+// [`fig7_at`]/[`fig7_at_streamed`] with [`DramKind::WideIo`] and
+// [`DramKind::Weis3d`] so each half can be timed separately.
 
 // ------------------------------------------------------------- Open page
 

@@ -22,15 +22,21 @@
 //! threads ([`pool`]); set `MOT3D_THREADS` to bound the worker count
 //! (default: available parallelism). Results are bit-identical for every
 //! thread count.
+//!
+//! Set `MOT3D_BENCH_JSON=<path>` to have the `fig6`/`fig7`/`fig8`/`all`
+//! binaries also write machine-readable per-sweep timings (wall-clock,
+//! scale, thread count, table checksums — see [`perf`]) for the
+//! perf-trajectory tracking described in the README.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 pub mod pool;
 pub mod report;
 
 pub use experiments::{
-    fig5, fig6, fig7, fig8, open_page_at, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row,
-    Fig8Result, OpenPageRow, Table1Row,
+    fig5, fig6, fig7, fig7_at, open_page_at, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row,
+    OpenPageRow, Table1Row,
 };

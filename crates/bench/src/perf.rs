@@ -1,0 +1,223 @@
+//! Machine-readable performance tracking (`MOT3D_BENCH_JSON`).
+//!
+//! The experiment binaries time every sweep they run; when the
+//! `MOT3D_BENCH_JSON` environment variable names a path, they write a
+//! small JSON document there — per-sweep wall-clock, run scale, worker
+//! thread count, and an FNV-1a checksum of each rendered table. The
+//! checksum pins *what* was computed (bit-identical tables hash equal),
+//! so a perf trajectory assembled from these files can tell a genuine
+//! regression apart from a workload change. CI uploads the file as an
+//! artifact; see README "Performance".
+//!
+//! No external dependencies: the JSON is assembled by hand (the schema
+//! is flat), keeping the offline build self-contained.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One timed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRecord {
+    /// Sweep name, e.g. `fig7@200ns`.
+    pub name: String,
+    /// Wall-clock seconds the sweep took.
+    pub wall_s: f64,
+    /// Result rows produced.
+    pub rows: usize,
+    /// FNV-1a 64-bit hex checksum of the rendered table.
+    pub checksum: String,
+}
+
+/// Collects [`SweepRecord`]s and writes the `BENCH_results.json`
+/// document on request.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_bench::perf::Recorder;
+/// use std::time::Duration;
+///
+/// let mut rec = Recorder::new(0.35, 4);
+/// rec.add("fig7@200ns", Duration::from_millis(1860), 8, "table text");
+/// let json = rec.to_json();
+/// assert!(json.contains("\"fig7@200ns\""));
+/// assert!(json.contains("\"threads\": 4"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    scale: f64,
+    threads: usize,
+    sweeps: Vec<SweepRecord>,
+}
+
+impl Recorder {
+    /// A recorder for a run at `scale` on `threads` workers.
+    pub fn new(scale: f64, threads: usize) -> Self {
+        Recorder {
+            scale,
+            threads,
+            sweeps: Vec::new(),
+        }
+    }
+
+    /// Records one finished sweep: its wall-clock time, row count, and
+    /// the rendered table it produced (checksummed, not stored).
+    pub fn add(&mut self, name: &str, wall: Duration, rows: usize, rendered_table: &str) {
+        self.sweeps.push(SweepRecord {
+            name: name.to_string(),
+            wall_s: wall.as_secs_f64(),
+            rows,
+            checksum: format!("{:016x}", fnv1a64(rendered_table.as_bytes())),
+        });
+    }
+
+    /// The sweeps recorded so far.
+    pub fn sweeps(&self) -> &[SweepRecord] {
+        &self.sweeps
+    }
+
+    /// Renders the JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"scale\": {},", self.scale);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        let _ = writeln!(out, "  \"sweeps\": [");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            let comma = if i + 1 < self.sweeps.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"wall_s\": {:.6}, \"rows\": {}, \"checksum\": \"{}\"}}{}",
+                json_string(&s.name),
+                s.wall_s,
+                s.rows,
+                s.checksum,
+                comma
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Writes the JSON to the path named by `MOT3D_BENCH_JSON`, if set.
+    /// Returns the path written, or `None` when the variable is unset.
+    /// I/O errors are reported to stderr but never fail the run — perf
+    /// tracking must not break result generation.
+    pub fn write_if_requested(&self) -> Option<String> {
+        let path = std::env::var("MOT3D_BENCH_JSON").ok()?;
+        if path.is_empty() {
+            return None;
+        }
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => {
+                eprintln!("bench results written to {path}");
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("could not write MOT3D_BENCH_JSON={path}: {e}");
+                None
+            }
+        }
+    }
+}
+
+/// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn identical_tables_hash_equal_different_tables_do_not() {
+        let mut a = Recorder::new(0.35, 1);
+        a.add("x", Duration::from_secs(1), 8, "table");
+        let mut b = Recorder::new(0.35, 1);
+        b.add("x", Duration::from_secs(2), 8, "table"); // time differs
+        assert_eq!(a.sweeps()[0].checksum, b.sweeps()[0].checksum);
+        let mut c = Recorder::new(0.35, 1);
+        c.add("x", Duration::from_secs(1), 8, "other table");
+        assert_ne!(a.sweeps()[0].checksum, c.sweeps()[0].checksum);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut rec = Recorder::new(0.004, 4);
+        rec.add("fig6", Duration::from_millis(120), 8, "t1");
+        rec.add("fig7@200ns", Duration::from_millis(340), 8, "t2");
+        let json = rec.to_json();
+        // Flat schema: balanced braces/brackets, all fields present.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for needle in [
+            "\"schema\": 1",
+            "\"scale\": 0.004",
+            "\"threads\": 4",
+            "\"fig6\"",
+            "\"fig7@200ns\"",
+            "\"rows\": 8",
+            "\"checksum\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Exactly one trailing comma between the two sweep objects.
+        assert_eq!(
+            json.matches("}},").count() + json.matches("\"}},").count(),
+            0
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn unset_env_writes_nothing() {
+        // (Cannot set the var here without racing parallel tests; the
+        // unset path must simply return None.)
+        let rec = Recorder::new(1.0, 1);
+        if std::env::var("MOT3D_BENCH_JSON").is_err() {
+            assert_eq!(rec.write_if_requested(), None);
+        }
+    }
+}

@@ -8,8 +8,15 @@
 //!
 //! The bus is cycle-stepped: the cluster calls [`MissBus::tick`] once per
 //! cycle and receives at most one completed transfer.
+//!
+//! Waiting transfers live in one contiguous [`FifoSlab`] (one FIFO list
+//! per requester over a shared node arena) rather than a `VecDeque` per
+//! requester, so enqueueing never allocates in steady state and
+//! [`MissBus::is_idle`] / [`MissBus::queued`] — polled by the simulator's
+//! completion check every event step — are O(1) counter reads instead of
+//! scans over every queue.
 
-use std::collections::VecDeque;
+use mot3d_phys::slab::FifoSlab;
 
 /// A transfer waiting on / travelling over the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +48,7 @@ pub struct Transfer {
 #[derive(Debug, Clone)]
 pub struct MissBus {
     occupancy: u64,
-    queues: Vec<VecDeque<Transfer>>,
+    queues: FifoSlab<Transfer>,
     rr: usize,
     current: Option<(Transfer, u64)>,
     granted: u64,
@@ -59,7 +66,7 @@ impl MissBus {
         assert!(occupancy > 0, "transfers must take at least one cycle");
         MissBus {
             occupancy,
-            queues: vec![VecDeque::new(); requesters],
+            queues: FifoSlab::new(requesters),
             rr: 0,
             current: None,
             granted: 0,
@@ -73,12 +80,12 @@ impl MissBus {
     /// Panics if the requester index is out of range.
     pub fn enqueue(&mut self, t: Transfer) {
         assert!(
-            t.requester < self.queues.len(),
+            t.requester < self.queues.lists(),
             "requester {} out of range ({})",
             t.requester,
-            self.queues.len()
+            self.queues.lists()
         );
-        self.queues[t.requester].push_back(t);
+        self.queues.push_back(t.requester, t);
     }
 
     /// Advances one cycle; returns a transfer that completed this cycle,
@@ -102,10 +109,13 @@ impl MissBus {
 
     /// Round-robin scan starting after the last granted requester.
     fn next_round_robin(&mut self) -> Option<Transfer> {
-        let n = self.queues.len();
+        if self.queues.is_all_empty() {
+            return None;
+        }
+        let n = self.queues.lists();
         for i in 0..n {
             let idx = (self.rr + i) % n;
-            if let Some(t) = self.queues[idx].pop_front() {
+            if let Some(t) = self.queues.pop_front(idx) {
                 self.rr = (idx + 1) % n;
                 return Some(t);
             }
@@ -121,7 +131,7 @@ impl MissBus {
     pub fn next_activity(&self, now: u64) -> Option<u64> {
         match self.current {
             Some((_, done_at)) => Some(done_at.max(now)),
-            None if self.queues.iter().any(|q| !q.is_empty()) => Some(now),
+            None if !self.queues.is_all_empty() => Some(now),
             None => None,
         }
     }
@@ -129,22 +139,20 @@ impl MissBus {
     /// Clears all queues, the in-flight transfer, and the round-robin
     /// position back to construction time.
     pub fn reset(&mut self) {
-        for q in &mut self.queues {
-            q.clear();
-        }
+        self.queues.clear();
         self.rr = 0;
         self.current = None;
         self.granted = 0;
     }
 
-    /// Whether the bus and all queues are empty.
+    /// Whether the bus and all queues are empty (O(1)).
     pub fn is_idle(&self) -> bool {
-        self.current.is_none() && self.queues.iter().all(|q| q.is_empty())
+        self.current.is_none() && self.queues.is_all_empty()
     }
 
-    /// Transfers waiting (not including the one in flight).
+    /// Transfers waiting (not including the one in flight); O(1).
     pub fn queued(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.queues.total_len()
     }
 
     /// Total transfers granted so far.

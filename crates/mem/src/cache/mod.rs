@@ -19,7 +19,7 @@
 mod replacement;
 
 pub use replacement::ReplacementPolicy;
-use replacement::SetReplacer;
+use replacement::ReplacerTable;
 
 use crate::addr::LineAddr;
 use std::error::Error;
@@ -182,16 +182,22 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Line<P> {
-    addr: LineAddr,
-    valid: bool,
-    dirty: bool,
-    data: u64,
-    payload: P,
-}
+/// Way-slot flag bit: the slot holds a line.
+const FLAG_VALID: u8 = 1 << 0;
+/// Way-slot flag bit: the line has been written since fill.
+const FLAG_DIRTY: u8 = 1 << 1;
 
 /// A set-associative cache with per-line payloads.
+///
+/// ## Layout
+///
+/// Structure-of-arrays: tags, flags (valid/dirty bits), data tokens, and
+/// payloads each live in one flat boxed slice indexed by
+/// `set * ways + way`, with replacement state in a matching flat
+/// [`ReplacerTable`]. A lookup therefore scans `ways` adjacent tag words
+/// of a single allocation (one or two cache lines) instead of chasing
+/// per-set `Vec`s, and no operation on the access path — including
+/// victim selection — allocates.
 ///
 /// # Examples
 ///
@@ -208,8 +214,18 @@ struct Line<P> {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<P> {
     config: CacheConfig,
-    sets: Vec<Vec<Line<P>>>,
-    replacers: Vec<SetReplacer>,
+    /// `sets() - 1`; sets are a power of two, so this masks the index.
+    set_mask: u64,
+    ways: usize,
+    /// Tag (full line address) per way slot, set-major.
+    tags: Box<[u64]>,
+    /// Valid/dirty bits per way slot, set-major.
+    flags: Box<[u8]>,
+    /// Data token per way slot, set-major.
+    data: Box<[u64]>,
+    /// Per-line payload (directory state for L2), set-major.
+    payloads: Box<[P]>,
+    replacer: ReplacerTable,
     stats: CacheStats,
 }
 
@@ -222,21 +238,20 @@ impl<P: Default + Clone> SetAssocCache<P> {
     pub fn new(config: CacheConfig) -> Result<Self, CacheConfigError> {
         config.validate()?;
         let sets = config.sets();
-        let mk_line = || Line {
-            addr: LineAddr(0),
-            valid: false,
-            dirty: false,
-            data: 0,
-            payload: P::default(),
-        };
+        let ways = config.associativity;
+        let slots = sets * ways;
         Ok(SetAssocCache {
             config,
-            sets: (0..sets)
-                .map(|_| (0..config.associativity).map(|_| mk_line()).collect())
-                .collect(),
-            replacers: (0..sets)
-                .map(|_| SetReplacer::new(config.policy, config.associativity))
-                .collect(),
+            set_mask: sets as u64 - 1,
+            ways,
+            tags: vec![0; slots].into_boxed_slice(),
+            flags: vec![0; slots].into_boxed_slice(),
+            data: vec![0; slots].into_boxed_slice(),
+            payloads: (0..slots)
+                .map(|_| P::default())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            replacer: ReplacerTable::new(config.policy, sets, ways),
             stats: CacheStats::default(),
         })
     }
@@ -251,24 +266,33 @@ impl<P: Default + Clone> SetAssocCache<P> {
         &self.stats
     }
 
+    #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        ((line.0 >> self.config.index_shift) % self.sets.len() as u64) as usize
+        ((line.0 >> self.config.index_shift) & self.set_mask) as usize
     }
 
-    fn find_way(&self, set: usize, line: LineAddr) -> Option<usize> {
-        self.sets[set]
-            .iter()
-            .position(|l| l.valid && l.addr == line)
+    /// Index of `set`'s first way slot in the flat arrays.
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.ways
+    }
+
+    /// The flat slot holding `line` in `set`, if resident.
+    #[inline]
+    fn find_slot(&self, set: usize, line: LineAddr) -> Option<usize> {
+        let base = self.base(set);
+        (base..base + self.ways)
+            .find(|&s| self.flags[s] & FLAG_VALID != 0 && self.tags[s] == line.0)
     }
 
     /// Reads a line: on hit, touches LRU state and returns the data token.
     pub fn read(&mut self, line: LineAddr) -> Option<u64> {
         let set = self.set_index(line);
-        match self.find_way(set, line) {
-            Some(way) => {
-                self.replacers[set].touch(way);
+        match self.find_slot(set, line) {
+            Some(slot) => {
+                self.replacer.touch(set, slot - self.base(set));
                 self.stats.read_hits += 1;
-                Some(self.sets[set][way].data)
+                Some(self.data[slot])
             }
             None => {
                 self.stats.read_misses += 1;
@@ -282,13 +306,12 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// caller's job via [`SetAssocCache::fill`]).
     pub fn write(&mut self, line: LineAddr, data: u64) -> bool {
         let set = self.set_index(line);
-        match self.find_way(set, line) {
-            Some(way) => {
-                self.replacers[set].touch(way);
+        match self.find_slot(set, line) {
+            Some(slot) => {
+                self.replacer.touch(set, slot - self.base(set));
                 self.stats.write_hits += 1;
-                let l = &mut self.sets[set][way];
-                l.data = data;
-                l.dirty = true;
+                self.data[slot] = data;
+                self.flags[slot] |= FLAG_DIRTY;
                 true
             }
             None => {
@@ -306,72 +329,71 @@ impl<P: Default + Clone> SetAssocCache<P> {
     pub fn fill(&mut self, line: LineAddr, data: u64, dirty: bool) -> Option<EvictedLine<P>> {
         let set = self.set_index(line);
         self.stats.fills += 1;
-        if let Some(way) = self.find_way(set, line) {
-            let l = &mut self.sets[set][way];
-            l.data = data;
-            l.dirty = l.dirty || dirty;
-            self.replacers[set].fill(way);
+        if let Some(slot) = self.find_slot(set, line) {
+            self.data[slot] = data;
+            if dirty {
+                self.flags[slot] |= FLAG_DIRTY;
+            }
+            self.replacer.fill(set, slot - self.base(set));
             return None;
         }
-        let valid: Vec<bool> = self.sets[set].iter().map(|l| l.valid).collect();
-        let way = self.replacers[set].victim(&valid);
-        let slot = &mut self.sets[set][way];
-        let evicted = slot.valid.then(|| EvictedLine {
-            addr: slot.addr,
-            data: slot.data,
-            dirty: slot.dirty,
-            payload: std::mem::take(&mut slot.payload),
+        let base = self.base(set);
+        let valid = &self.flags[base..base + self.ways];
+        let way = self.replacer.victim(set, |w| valid[w] & FLAG_VALID != 0);
+        let slot = base + way;
+        let evicted = (self.flags[slot] & FLAG_VALID != 0).then(|| EvictedLine {
+            addr: LineAddr(self.tags[slot]),
+            data: self.data[slot],
+            dirty: self.flags[slot] & FLAG_DIRTY != 0,
+            payload: std::mem::take(&mut self.payloads[slot]),
         });
         if evicted.as_ref().is_some_and(|e| e.dirty) {
             self.stats.writebacks += 1;
         }
-        *slot = Line {
-            addr: line,
-            valid: true,
-            dirty,
-            data,
-            payload: P::default(),
-        };
-        self.replacers[set].fill(way);
+        self.tags[slot] = line.0;
+        self.flags[slot] = FLAG_VALID | if dirty { FLAG_DIRTY } else { 0 };
+        self.data[slot] = data;
+        self.payloads[slot] = P::default();
+        self.replacer.fill(set, way);
         evicted
     }
 
     /// Looks at a line without touching replacement state or counters.
     pub fn peek(&self, line: LineAddr) -> Option<(u64, bool)> {
         let set = self.set_index(line);
-        self.find_way(set, line)
-            .map(|way| (self.sets[set][way].data, self.sets[set][way].dirty))
+        self.find_slot(set, line)
+            .map(|slot| (self.data[slot], self.flags[slot] & FLAG_DIRTY != 0))
     }
 
     /// Mutable access to a resident line's payload (directory state).
     pub fn payload_mut(&mut self, line: LineAddr) -> Option<&mut P> {
         let set = self.set_index(line);
-        let way = self.find_way(set, line)?;
-        Some(&mut self.sets[set][way].payload)
+        let slot = self.find_slot(set, line)?;
+        Some(&mut self.payloads[slot])
     }
 
     /// Shared access to a resident line's payload.
     pub fn payload(&self, line: LineAddr) -> Option<&P> {
         let set = self.set_index(line);
-        let way = self.find_way(set, line)?;
-        Some(&self.sets[set][way].payload)
+        let slot = self.find_slot(set, line)?;
+        Some(&self.payloads[slot])
     }
 
     /// Removes a line if present, returning it (dirty lines must be
     /// written back by the caller).
     pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine<P>> {
         let set = self.set_index(line);
-        let way = self.find_way(set, line)?;
-        let slot = &mut self.sets[set][way];
-        slot.valid = false;
-        if slot.dirty {
+        let slot = self.find_slot(set, line)?;
+        let dirty = self.flags[slot] & FLAG_DIRTY != 0;
+        self.flags[slot] = 0;
+        if dirty {
             self.stats.writebacks += 1;
         }
         Some(EvictedLine {
-            addr: slot.addr,
-            data: slot.data,
-            dirty: std::mem::take(&mut slot.dirty),
-            payload: std::mem::take(&mut slot.payload),
+            addr: LineAddr(self.tags[slot]),
+            data: self.data[slot],
+            dirty,
+            payload: std::mem::take(&mut self.payloads[slot]),
         })
     }
 
@@ -380,21 +402,19 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// power-off banks must be written back ... for data coherency".
     pub fn flush_invalidate_all(&mut self) -> Vec<EvictedLine<P>> {
         let mut out = Vec::new();
-        for set in &mut self.sets {
-            for slot in set.iter_mut() {
-                if slot.valid {
-                    if slot.dirty {
-                        self.stats.writebacks += 1;
-                    }
-                    out.push(EvictedLine {
-                        addr: slot.addr,
-                        data: slot.data,
-                        dirty: slot.dirty,
-                        payload: std::mem::take(&mut slot.payload),
-                    });
-                    slot.valid = false;
-                    slot.dirty = false;
+        for slot in 0..self.flags.len() {
+            if self.flags[slot] & FLAG_VALID != 0 {
+                let dirty = self.flags[slot] & FLAG_DIRTY != 0;
+                if dirty {
+                    self.stats.writebacks += 1;
                 }
+                out.push(EvictedLine {
+                    addr: LineAddr(self.tags[slot]),
+                    data: self.data[slot],
+                    dirty,
+                    payload: std::mem::take(&mut self.payloads[slot]),
+                });
+                self.flags[slot] = 0;
             }
         }
         out
@@ -404,34 +424,28 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// construction time, without reallocating the line arrays. A cleared
     /// cache behaves bit-identically to a freshly built one.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            for slot in set.iter_mut() {
-                slot.valid = false;
-                slot.dirty = false;
-                slot.data = 0;
-                slot.addr = LineAddr(0);
-                slot.payload = P::default();
-            }
+        self.tags.fill(0);
+        self.flags.fill(0);
+        self.data.fill(0);
+        for p in self.payloads.iter_mut() {
+            *p = P::default();
         }
-        for r in &mut self.replacers {
-            *r = SetReplacer::new(self.config.policy, self.config.associativity);
-        }
+        self.replacer.reset();
         self.stats = CacheStats::default();
     }
 
     /// Number of resident lines.
     pub fn resident_lines(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|l| l.valid).count())
-            .sum()
+        self.flags.iter().filter(|f| **f & FLAG_VALID != 0).count()
     }
 
     /// Iterates over resident line addresses.
     pub fn resident_addrs(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.sets
+        self.flags
             .iter()
-            .flat_map(|s| s.iter().filter(|l| l.valid).map(|l| l.addr))
+            .zip(self.tags.iter())
+            .filter(|(f, _)| **f & FLAG_VALID != 0)
+            .map(|(_, t)| LineAddr(*t))
     }
 }
 

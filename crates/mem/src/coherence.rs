@@ -67,15 +67,27 @@ impl Directory {
     ///
     /// Panics if the line has a different exclusive owner — recall first.
     pub fn grant_exclusive(&mut self, core: usize) -> Vec<usize> {
+        let mut victims = Vec::new();
+        self.grant_exclusive_into(core, &mut victims);
+        victims
+    }
+
+    /// [`Directory::grant_exclusive`] that appends the victims to a
+    /// caller-provided buffer instead of allocating one — the simulator's
+    /// store path calls this with a reused scratch vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line has a different exclusive owner — recall first.
+    pub fn grant_exclusive_into(&mut self, core: usize, victims: &mut Vec<usize>) {
         assert!(
             self.owner.is_none() || self.owner == Some(core as u8),
             "grant_exclusive({core}) while owned by {:?}: recall first",
             self.owner
         );
-        let to_invalidate: Vec<usize> = self.sharers().filter(|&c| c != core).collect();
+        victims.extend(self.sharers().filter(|&c| c != core));
         self.sharers = 0;
         self.owner = Some(core as u8);
-        to_invalidate
     }
 
     /// Records that the exclusive owner wrote its copy back (downgrade to

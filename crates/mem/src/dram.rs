@@ -14,7 +14,7 @@
 //! the value hierarchy checked against the golden memory.
 
 use crate::addr::{AddressMap, LineAddr};
-use std::collections::HashMap;
+use crate::linemap::LineMap;
 
 /// Which of Table I's DRAM options is modelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,7 +110,9 @@ impl DramTiming {
 pub struct Dram {
     timing: DramTiming,
     map: AddressMap,
-    store: HashMap<LineAddr, u64>,
+    /// Functional backing store; flat open-addressed map keeps refill-path
+    /// token reads off `HashMap`'s SipHash + bucket indirection.
+    store: LineMap,
     open_row: Option<u64>,
     next_issue: u64,
     accesses: u64,
@@ -123,7 +125,7 @@ impl Dram {
         Dram {
             timing,
             map,
-            store: HashMap::new(),
+            store: LineMap::new(),
             open_row: None,
             next_issue: 0,
             accesses: 0,
@@ -148,12 +150,18 @@ impl Dram {
         self.open_row = Some(row);
         self.next_issue = issue + self.timing.min_gap;
         self.accesses += 1;
-        issue + (self.timing.base_cycles as f64 * factor).round() as u64
+        if factor == 1.0 {
+            // Flat latency (the paper's model, and every first access):
+            // `round(base × 1.0)` is exactly `base` — skip the libm call.
+            issue + self.timing.base_cycles
+        } else {
+            issue + (self.timing.base_cycles as f64 * factor).round() as u64
+        }
     }
 
     /// Reads the functional token of a line (0 if never written).
     pub fn read_line(&self, line: LineAddr) -> u64 {
-        self.store.get(&line).copied().unwrap_or(0)
+        self.store.get(line).unwrap_or(0)
     }
 
     /// Writes the functional token of a line.

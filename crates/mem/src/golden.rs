@@ -7,7 +7,7 @@
 //! writeback sequence must never lose a store.
 
 use crate::addr::LineAddr;
-use std::collections::HashMap;
+use crate::linemap::LineMap;
 
 /// The oracle memory.
 ///
@@ -24,7 +24,7 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct GoldenMemory {
-    store: HashMap<LineAddr, u64>,
+    store: LineMap,
 }
 
 impl GoldenMemory {
@@ -35,7 +35,7 @@ impl GoldenMemory {
 
     /// The architecturally-correct token of a line.
     pub fn read(&self, line: LineAddr) -> u64 {
-        self.store.get(&line).copied().unwrap_or(0)
+        self.store.get(line).unwrap_or(0)
     }
 
     /// Records an architectural store.
@@ -50,7 +50,7 @@ impl GoldenMemory {
 
     /// Iterates over all written lines and their tokens.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
-        self.store.iter().map(|(k, v)| (*k, *v))
+        self.store.iter()
     }
 }
 

@@ -14,7 +14,9 @@
 //! * [`bus`] — the round-robin refill bus;
 //! * [`dram`] — Table I's three DRAM options (200/63/42 ns) with an
 //!   optional open-page refinement;
-//! * [`golden`] — a flat oracle memory for end-to-end correctness checks.
+//! * [`golden`] — a flat oracle memory for end-to-end correctness checks;
+//! * [`linemap`] — the flat open-addressed line→token map backing the
+//!   DRAM store and the golden oracle.
 //!
 //! Data is modelled as one `u64` token per line, which is sufficient to
 //! verify that no store is ever lost — including across the dirty-flush
@@ -44,3 +46,4 @@ pub mod cache;
 pub mod coherence;
 pub mod dram;
 pub mod golden;
+pub mod linemap;

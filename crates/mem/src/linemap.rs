@@ -1,0 +1,210 @@
+//! A flat open-addressed map from [`LineAddr`] to data token.
+//!
+//! The DRAM backing store and the golden-memory oracle sit on the refill
+//! path: every L2 miss reads a token and every writeback stores one. With
+//! `std::collections::HashMap` each of those pays SipHash plus a bucket
+//! indirection; this map replaces both with Fibonacci multiplicative
+//! hashing and linear probing over two parallel flat arrays — one probe
+//! usually lands in a single cache line, and lookups never allocate.
+//! Entries are never removed (a memory only accretes written lines), which
+//! keeps probing tombstone-free.
+
+use crate::addr::LineAddr;
+
+/// Fibonacci hashing constant: ⌊2⁶⁴/φ⌋, odd.
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Insert-only `LineAddr → u64` map (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_mem::addr::LineAddr;
+/// use mot3d_mem::linemap::LineMap;
+///
+/// let mut m = LineMap::new();
+/// assert_eq!(m.get(LineAddr(9)), None);
+/// m.insert(LineAddr(9), 77);
+/// m.insert(LineAddr(9), 78); // last write wins
+/// assert_eq!(m.get(LineAddr(9)), Some(78));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Slot keys; meaningful only where `live` is set.
+    keys: Box<[u64]>,
+    values: Box<[u64]>,
+    live: Box<[bool]>,
+    len: usize,
+    /// `capacity - 1` (capacity is a power of two).
+    mask: usize,
+}
+
+impl LineMap {
+    const INITIAL_CAPACITY: usize = 1024;
+
+    /// An empty map.
+    pub fn new() -> Self {
+        LineMap::with_capacity(Self::INITIAL_CAPACITY)
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        debug_assert!(capacity.is_power_of_two());
+        LineMap {
+            keys: vec![0; capacity].into_boxed_slice(),
+            values: vec![0; capacity].into_boxed_slice(),
+            live: vec![false; capacity].into_boxed_slice(),
+            len: 0,
+            mask: capacity - 1,
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // Fibonacci hashing spreads the low-entropy line addresses; the
+        // shift keeps the high (well-mixed) product bits.
+        (key.wrapping_mul(PHI) >> 32) as usize & self.mask
+    }
+
+    /// The token stored for `line`, if any.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<u64> {
+        let mut slot = self.slot_of(line.0);
+        while self.live[slot] {
+            if self.keys[slot] == line.0 {
+                return Some(self.values[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Stores `value` for `line` (overwrites a previous token).
+    pub fn insert(&mut self, line: LineAddr, value: u64) {
+        if self.len * 2 >= self.keys.len() {
+            self.grow();
+        }
+        let mut slot = self.slot_of(line.0);
+        while self.live[slot] {
+            if self.keys[slot] == line.0 {
+                self.values[slot] = value;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+        self.keys[slot] = line.0;
+        self.values[slot] = value;
+        self.live[slot] = true;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = LineMap::with_capacity(self.keys.len() * 2);
+        for slot in 0..self.keys.len() {
+            if self.live[slot] {
+                bigger.insert(LineAddr(self.keys[slot]), self.values[slot]);
+            }
+        }
+        *self = bigger;
+    }
+
+    /// Number of distinct lines stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no line has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the map, keeping its capacity for reuse.
+    pub fn clear(&mut self) {
+        self.live.fill(false);
+        self.len = 0;
+    }
+
+    /// Iterates over all stored `(line, token)` pairs (slot order).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
+        (0..self.keys.len())
+            .filter(|&s| self.live[s])
+            .map(|s| (LineAddr(self.keys[s]), self.values[s]))
+    }
+}
+
+impl Default for LineMap {
+    fn default() -> Self {
+        LineMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_lines_are_none() {
+        let m = LineMap::new();
+        assert_eq!(m.get(LineAddr(0)), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn line_zero_is_a_real_key() {
+        let mut m = LineMap::new();
+        m.insert(LineAddr(0), 5);
+        assert_eq!(m.get(LineAddr(0)), Some(5));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut m = LineMap::new();
+        m.insert(LineAddr(7), 1);
+        m.insert(LineAddr(7), 2);
+        assert_eq!(m.get(LineAddr(7)), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        let mut m = LineMap::new();
+        // Dense sequential line addresses (the common cache pattern) well
+        // past the initial capacity.
+        for i in 0..10_000u64 {
+            m.insert(LineAddr(i * 3), i);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(LineAddr(i * 3)), Some(i), "line {}", i * 3);
+        }
+        assert_eq!(m.get(LineAddr(1)), None);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_empties() {
+        let mut m = LineMap::new();
+        for i in 0..100u64 {
+            m.insert(LineAddr(i), i);
+        }
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(LineAddr(4)), None);
+        m.insert(LineAddr(4), 9);
+        assert_eq!(m.get(LineAddr(4)), Some(9));
+    }
+
+    #[test]
+    fn iter_yields_every_entry_once() {
+        let mut m = LineMap::new();
+        for i in 0..50u64 {
+            m.insert(LineAddr(i * 17), i);
+        }
+        let mut seen: Vec<_> = m.iter().collect();
+        seen.sort();
+        assert_eq!(seen.len(), 50);
+        for (i, (line, v)) in seen.iter().enumerate() {
+            assert_eq!(line.0, i as u64 * 17);
+            assert_eq!(*v, i as u64);
+        }
+    }
+}

@@ -18,6 +18,8 @@
 
 use std::collections::VecDeque;
 
+use mot3d_phys::slab::FifoSlab;
+
 use crate::energy::MotEnergyModel;
 use crate::latency::{MotLatency, MotTimingParams};
 use crate::power_state::PowerState;
@@ -66,17 +68,20 @@ pub struct MotNetwork {
     cfg: MotConfiguration,
     latency: MotLatency,
     energy_model: MotEnergyModel,
-    /// Requests in transit, ordered by injection (FIFO per same latency).
+    /// Requests in transit, ordered by injection (FIFO per same latency;
+    /// a ring buffer, so steady-state pushes never allocate).
     transit_req: VecDeque<InFlight>,
-    /// Per-bank, per-core head-of-line queues awaiting the bank grant.
-    waiting: Vec<Vec<VecDeque<InFlight>>>,
-    /// Per-bank count of requests queued in `waiting` (grant-loop skip).
-    waiting_count: Vec<usize>,
-    /// Total requests queued across all banks (wake hint + fast path).
-    waiting_total: usize,
-    /// Scratch request bitmap reused by the grant loop (no per-cycle
-    /// allocation on the hot path).
-    req_scratch: Vec<bool>,
+    /// Per-(bank, core) head-of-line queues awaiting the bank grant: one
+    /// FIFO list per `bank * cores + core` over a single contiguous node
+    /// slab, instead of banks × cores separate `VecDeque` allocations.
+    waiting: FifoSlab<InFlight>,
+    /// Per-bank request bitmask (bit `core` set while that (bank, core)
+    /// queue is non-empty), maintained incrementally so the grant loop
+    /// skips idle banks and feeds [`ArbitrationTree::grant_mask`] without
+    /// rebuilding a bitmap.
+    wait_mask: Vec<u32>,
+    /// Core count (list-index stride into `waiting`).
+    cores: usize,
     /// Per-bank arbitration trees over cores.
     arbiters: Vec<ArbitrationTree>,
     arrivals: VecDeque<BankArrival>,
@@ -106,17 +111,15 @@ impl MotNetwork {
         let energy_model = MotEnergyModel::derive(tech, floorplan, &cfg, params)?;
         let banks = topology.banks();
         let cores = topology.cores();
+        assert!(cores <= 32, "wait masks hold at most 32 cores per bank");
         Ok(MotNetwork {
             cfg,
             latency,
             energy_model,
             transit_req: VecDeque::new(),
-            waiting: (0..banks)
-                .map(|_| (0..cores).map(|_| VecDeque::new()).collect())
-                .collect(),
-            waiting_count: vec![0; banks],
-            waiting_total: 0,
-            req_scratch: vec![false; cores],
+            waiting: FifoSlab::new(banks * cores),
+            wait_mask: vec![0; banks],
+            cores,
             arbiters: (0..banks).map(|_| ArbitrationTree::new(cores)).collect(),
             arrivals: VecDeque::new(),
             transit_resp: VecDeque::new(),
@@ -170,33 +173,33 @@ impl Interconnect for MotNetwork {
         self.last_tick = Some(now);
 
         // 1. Land transits whose time has come at their bank's wait queue.
+        let cores = self.cores;
         while let Some(front) = self.transit_req.front() {
             if front.arrives_at > now {
                 break;
             }
             let f = self.transit_req.pop_front().expect("checked non-empty");
-            self.waiting[f.bank][f.request.core].push_back(f);
-            self.waiting_count[f.bank] += 1;
-            self.waiting_total += 1;
+            self.waiting.push_back(f.bank * cores + f.request.core, f);
+            self.wait_mask[f.bank] |= 1 << f.request.core;
         }
 
         // 2. One grant per bank per cycle, round-robin over cores. Only
-        // banks with waiters are visited, through a reused bitmap — this
-        // is the simulator's hottest loop.
-        if self.waiting_total > 0 {
-            for bank in 0..self.waiting.len() {
-                if self.waiting_count[bank] == 0 {
+        // banks with waiters are visited, and each grant works on the
+        // bank's incrementally-maintained request bitmask — this is the
+        // simulator's hottest loop.
+        if self.waiting.total_len() > 0 {
+            for bank in 0..self.wait_mask.len() {
+                if self.wait_mask[bank] == 0 {
                     continue;
                 }
-                for core in 0..self.req_scratch.len() {
-                    self.req_scratch[core] = !self.waiting[bank][core].is_empty();
-                }
-                if let Some(core) = self.arbiters[bank].grant(&self.req_scratch) {
-                    let f = self.waiting[bank][core]
-                        .pop_front()
+                if let Some(core) = self.arbiters[bank].grant_mask(self.wait_mask[bank]) {
+                    let f = self
+                        .waiting
+                        .pop_front(bank * cores + core)
                         .expect("granted core has a waiting request");
-                    self.waiting_count[bank] -= 1;
-                    self.waiting_total -= 1;
+                    if self.waiting.is_empty(bank * cores + core) {
+                        self.wait_mask[bank] &= !(1 << core);
+                    }
                     let transit = now.saturating_sub(f.injected_at);
                     self.stats.total_request_latency += transit;
                     self.stats.max_request_latency = self.stats.max_request_latency.max(transit);
@@ -270,7 +273,8 @@ impl Interconnect for MotNetwork {
         // are FIFO with a fixed latency, so the front is the minimum) or
         // response delivery decides. Pending arrivals/deliveries count as
         // immediate activity — the caller has not consumed them yet.
-        if !self.arrivals.is_empty() || !self.deliveries.is_empty() || self.waiting_total > 0 {
+        if !self.arrivals.is_empty() || !self.deliveries.is_empty() || self.waiting.total_len() > 0
+        {
             return Some(now);
         }
         let req = self.transit_req.front().map(|f| f.arrives_at);
@@ -285,13 +289,8 @@ impl Interconnect for MotNetwork {
 
     fn reset(&mut self) {
         self.transit_req.clear();
-        for bank in &mut self.waiting {
-            for q in bank {
-                q.clear();
-            }
-        }
-        self.waiting_count.fill(0);
-        self.waiting_total = 0;
+        self.waiting.clear();
+        self.wait_mask.fill(0);
         for arb in &mut self.arbiters {
             arb.reset();
         }

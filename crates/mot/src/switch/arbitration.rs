@@ -140,6 +140,43 @@ impl ArbitrationTree {
         }
         Some(lo)
     }
+
+    /// [`ArbitrationTree::grant`] over a request *bitmask* (bit `i` ⇔
+    /// requester `i` asserted), for trees of up to 32 inputs. Identical
+    /// grants and identical cell-state updates — subtree occupancy is one
+    /// mask test instead of a slice scan, which is what the interconnect's
+    /// per-cycle grant loop wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has more than 32 inputs.
+    pub fn grant_mask(&mut self, requests: u32) -> Option<usize> {
+        assert!(self.inputs <= 32, "grant_mask serves trees of ≤ 32 inputs");
+        if self.inputs == 1 {
+            return (requests & 1 != 0).then_some(0);
+        }
+        if requests == 0 {
+            return None;
+        }
+        let mut cell = 0usize;
+        let mut lo = 0usize;
+        let mut span = self.inputs;
+        while span > 1 {
+            let half = span / 2;
+            let half_mask = (1u32 << half) - 1;
+            let left = requests & (half_mask << lo) != 0;
+            let right = requests & (half_mask << (lo + half)) != 0;
+            let side = self.cells[cell]
+                .grant(left, right)
+                .expect("subtree has a requester by construction");
+            if side == 1 {
+                lo += half;
+            }
+            cell = 2 * cell + 1 + side;
+            span = half;
+        }
+        Some(lo)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +249,31 @@ mod tests {
     fn rejects_wrong_bitmap_size() {
         let mut tree = ArbitrationTree::new(4);
         tree.grant(&[true; 3]);
+    }
+
+    #[test]
+    fn mask_grant_matches_slice_grant() {
+        // Same request patterns through both entry points must produce
+        // identical grant sequences (and identical cell-state evolution).
+        for inputs in [1usize, 2, 4, 8, 16, 32] {
+            let mut by_slice = ArbitrationTree::new(inputs);
+            let mut by_mask = ArbitrationTree::new(inputs);
+            let mut pattern: u32 = 0x9E37_79B9;
+            for round in 0..64 {
+                let mask = if inputs == 32 {
+                    pattern
+                } else {
+                    pattern & ((1u32 << inputs) - 1)
+                };
+                let slice: Vec<bool> = (0..inputs).map(|i| mask & (1 << i) != 0).collect();
+                assert_eq!(
+                    by_slice.grant(&slice),
+                    by_mask.grant_mask(mask),
+                    "inputs {inputs} round {round} mask {mask:#x}"
+                );
+                pattern = pattern.rotate_left(5) ^ round;
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! and it keeps the engine exact and fast.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::packet::{Packet, Payload};
 use crate::params::NocParams;
@@ -77,8 +77,14 @@ pub struct NocNetwork {
     name: String,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
-    /// Next-free cycle of each directed router→router port.
-    port_free: HashMap<(usize, usize), u64>,
+    /// Next-free cycle of each directed router→router port, as a flat
+    /// `routers × routers` table indexed `from * routers + to` — a plain
+    /// load on the forwarding hot path where a `HashMap<(usize, usize),
+    /// u64>` would hash and chase buckets per hop. At most 48 routers
+    /// (True 3-D Mesh), so the dense table is 18 KB.
+    port_free: Box<[u64]>,
+    /// Router count cached for the port-table stride.
+    routers: usize,
     /// Next-free cycle of each vertical bus.
     bus_free: Vec<u64>,
     arrivals: VecDeque<BankArrival>,
@@ -94,6 +100,7 @@ impl NocNetwork {
         let topo = Topology::new(kind);
         let params = NocParams::derive(tech, floorplan, kind);
         let buses = topo.buses();
+        let routers = topo.routers();
         let hint = uncontended_hint(&topo, &params);
         NocNetwork {
             topo,
@@ -101,7 +108,8 @@ impl NocNetwork {
             name: kind.to_string(),
             events: BinaryHeap::new(),
             seq: 0,
-            port_free: HashMap::new(),
+            port_free: vec![0; routers * routers].into_boxed_slice(),
+            routers,
             bus_free: vec![0; buses],
             arrivals: VecDeque::new(),
             deliveries: VecDeque::new(),
@@ -154,7 +162,7 @@ impl NocNetwork {
     /// at ejection rather than per hop.
     fn forward(&mut self, from: usize, to: usize, at: u64, mut packet: Packet) {
         let flits = packet.flits();
-        let port = self.port_free.entry((from, to)).or_insert(0);
+        let port = &mut self.port_free[from * self.routers + to];
         let start = (at + self.params.router_pipeline).max(*port);
         *port = start + flits;
         packet.hops += 1;
@@ -337,7 +345,7 @@ impl Interconnect for NocNetwork {
     fn reset(&mut self) {
         self.events.clear();
         self.seq = 0;
-        self.port_free.clear();
+        self.port_free.fill(0);
         self.bus_free.fill(0);
         self.arrivals.clear();
         self.deliveries.clear();

@@ -15,7 +15,10 @@
 //! * [`sram`] — CACTI-style SRAM bank delay/energy/area (ref \[13\]);
 //! * [`geometry`] — the 3-D floorplan and Fig. 5 wire-length model;
 //! * [`power`] — McPAT-style core power (ref \[19\]), DRAM energy options,
-//!   and the energy-delay-product bookkeeping of Figs. 7–8.
+//!   and the energy-delay-product bookkeeping of Figs. 7–8;
+//! * [`slab`] — allocation-free hot-path containers (multi-queue
+//!   [`slab::FifoSlab`], generational-handle [`slab::GenSlab`]) shared by
+//!   the simulator crates above this one.
 //!
 //! # Quick example
 //!
@@ -40,6 +43,7 @@
 pub mod geometry;
 pub mod power;
 pub mod rc;
+pub mod slab;
 pub mod sram;
 pub mod technology;
 pub mod tsv;

@@ -37,7 +37,7 @@
 //! end-to-end result, including across runtime bank power-gating flushes.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::config::{InterconnectChoice, SimConfig};
 use crate::error::SimError;
@@ -56,6 +56,7 @@ use mot3d_mot::{MotNetwork, PowerState};
 use mot3d_noc::NocNetwork;
 use mot3d_phys::geometry::Floorplan;
 use mot3d_phys::power::{CorePowerModel, DramEnergyModel, EnergyBreakdown};
+use mot3d_phys::slab::GenSlab;
 use mot3d_phys::sram::{SramBank, SramConfig};
 use mot3d_phys::Technology;
 use mot3d_workloads::{CoreStream, Op, StreamOp};
@@ -89,7 +90,6 @@ struct CoreState {
     /// Physical core id (grid position); ranks index into `cores`.
     physical: usize,
     stream: CoreStream,
-    status: CoreStatus,
     l1: SetAssocCache<L1Meta>,
     busy_cycles: u64,
     retired: u64,
@@ -158,26 +158,162 @@ impl PartialOrd for Scheduled {
     }
 }
 
+/// The interconnect under test, dispatched statically: the hot loop
+/// calls `tick`/`pop_arrival`/`pop_delivery`/`next_activity` several
+/// times per step, and a `Box<dyn Interconnect>` would make each a
+/// virtual call the compiler cannot inline.
+#[derive(Debug)]
+enum ClusterNet {
+    Mot(MotNetwork),
+    Noc(NocNetwork),
+}
+
+impl ClusterNet {
+    #[inline]
+    fn get(&self) -> &dyn Interconnect {
+        match self {
+            ClusterNet::Mot(n) => n,
+            ClusterNet::Noc(n) => n,
+        }
+    }
+}
+
+impl Interconnect for ClusterNet {
+    #[inline]
+    fn name(&self) -> &str {
+        self.get().name()
+    }
+
+    #[inline]
+    fn tick(&mut self, now: u64) {
+        match self {
+            ClusterNet::Mot(n) => n.tick(now),
+            ClusterNet::Noc(n) => n.tick(now),
+        }
+    }
+
+    #[inline]
+    fn inject_request(&mut self, now: u64, request: MemRequest) {
+        match self {
+            ClusterNet::Mot(n) => n.inject_request(now, request),
+            ClusterNet::Noc(n) => n.inject_request(now, request),
+        }
+    }
+
+    #[inline]
+    fn pop_arrival(&mut self) -> Option<mot3d_mot::traits::BankArrival> {
+        match self {
+            ClusterNet::Mot(n) => n.pop_arrival(),
+            ClusterNet::Noc(n) => n.pop_arrival(),
+        }
+    }
+
+    #[inline]
+    fn inject_response(&mut self, now: u64, response: MemResponse) {
+        match self {
+            ClusterNet::Mot(n) => n.inject_response(now, response),
+            ClusterNet::Noc(n) => n.inject_response(now, response),
+        }
+    }
+
+    #[inline]
+    fn pop_delivery(&mut self) -> Option<mot3d_mot::traits::CoreDelivery> {
+        match self {
+            ClusterNet::Mot(n) => n.pop_delivery(),
+            ClusterNet::Noc(n) => n.pop_delivery(),
+        }
+    }
+
+    #[inline]
+    fn next_activity(&self, now: u64) -> Option<u64> {
+        match self {
+            ClusterNet::Mot(n) => n.next_activity(now),
+            ClusterNet::Noc(n) => n.next_activity(now),
+        }
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        match self {
+            ClusterNet::Mot(n) => Interconnect::reset(n),
+            ClusterNet::Noc(n) => Interconnect::reset(n),
+        }
+    }
+
+    #[inline]
+    fn oneway_latency_hint(&self) -> u64 {
+        // Statically dispatched: read once per serviced bank access.
+        match self {
+            ClusterNet::Mot(n) => n.oneway_latency_hint(),
+            ClusterNet::Noc(n) => n.oneway_latency_hint(),
+        }
+    }
+
+    #[inline]
+    fn dynamic_energy(&self) -> mot3d_phys::units::Joules {
+        self.get().dynamic_energy()
+    }
+
+    #[inline]
+    fn leakage_power(&self) -> mot3d_phys::units::Watts {
+        self.get().leakage_power()
+    }
+
+    #[inline]
+    fn stats(&self) -> mot3d_mot::traits::InterconnectStats {
+        self.get().stats()
+    }
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     config: SimConfig,
     tech: Technology,
     floorplan: Floorplan,
     map: AddressMap,
-    interconnect: Box<dyn Interconnect>,
+    interconnect: ClusterNet,
     mot_cfg: Option<MotConfiguration>,
     cores: Vec<CoreState>,
+    /// Core statuses, split out of `CoreState` structure-of-arrays
+    /// style: the wake/barrier/issue loops consult every core's status
+    /// each step, and inside `CoreState` (whose stream + L1 span hundreds
+    /// of bytes) each status would be its own cache line. Kept in sync
+    /// with the masks below via [`Cluster::set_status`].
+    statuses: Vec<CoreStatus>,
+    /// Bit `i` set while core `i` is `Ready`.
+    ready_mask: u32,
+    /// Bit `i` set while core `i` is `Computing`; its deadline is in
+    /// `until[i]`. The issue loop walks `ready_mask | computing_mask` in
+    /// ascending bit order — the same visit order as scanning every core.
+    computing_mask: u32,
+    /// Bit `i` set while core `i` is `AtBarrier`.
+    barrier_mask: u32,
+    /// `Computing` deadlines, indexed by core (valid where
+    /// `computing_mask` is set).
+    until: Vec<u64>,
     banks: Vec<BankState>,
+    /// `physical_to_idx[physical]` = index into `cores`, or `usize::MAX`
+    /// when that physical core is gated (fixed at construction; coherence
+    /// lookups would otherwise scan `cores` linearly per invalidation).
+    physical_to_idx: [usize; TOTAL_CORES],
     bus: MissBus,
     dram: Dram,
     golden: Option<GoldenMemory>,
-    txs: HashMap<u64, Tx>,
-    next_tag: u64,
+    /// In-flight transactions; the interconnect tag *is* the generational
+    /// slab handle, so tag lookups are an index + generation check
+    /// instead of a `HashMap` probe.
+    txs: GenSlab<Tx>,
     store_tokens: u64,
     events: BinaryHeap<Reverse<Scheduled>>,
     seq: u64,
     now: u64,
     paused: bool,
+    /// Cores whose status is `Finished` (O(1) completion check).
+    finished_cores: usize,
+    /// Reused victim/holder scratch for coherence fan-outs.
+    scratch_cores: Vec<usize>,
+    /// `l2_model.access_cycles(&tech)`, cached off the bank-service path.
+    l2_access_cycles: u64,
     // metric counters
     l1_hits: u64,
     l1_misses: u64,
@@ -228,7 +364,7 @@ impl Cluster {
             });
         }
 
-        let (interconnect, mot_cfg): (Box<dyn Interconnect>, Option<MotConfiguration>) =
+        let (interconnect, mot_cfg): (ClusterNet, Option<MotConfiguration>) =
             match config.interconnect {
                 InterconnectChoice::Mot => {
                     let net = MotNetwork::new(
@@ -239,13 +375,16 @@ impl Cluster {
                         state,
                     )?;
                     let cfg = net.configuration().clone();
-                    (Box::new(net), Some(cfg))
+                    (ClusterNet::Mot(net), Some(cfg))
                 }
                 InterconnectChoice::Noc(kind) => {
                     if state != PowerState::full() {
                         return Err(SimError::NocNeedsFullState(kind));
                     }
-                    (Box::new(NocNetwork::new(&tech, &floorplan, kind)), None)
+                    (
+                        ClusterNet::Noc(NocNetwork::new(&tech, &floorplan, kind)),
+                        None,
+                    )
                 }
             };
 
@@ -255,13 +394,17 @@ impl Cluster {
         };
         debug_assert_eq!(physical_cores.len(), streams.len());
 
-        let cores = physical_cores
+        let mut physical_to_idx = [usize::MAX; TOTAL_CORES];
+        for (idx, &physical) in physical_cores.iter().enumerate() {
+            physical_to_idx[physical] = idx;
+        }
+
+        let cores: Vec<CoreState> = physical_cores
             .into_iter()
             .zip(streams)
             .map(|(physical, stream)| CoreState {
                 physical,
                 stream,
-                status: CoreStatus::Ready,
                 l1: SetAssocCache::new(CacheConfig::l1_date16())
                     .expect("Table I L1 geometry is valid"),
                 busy_cycles: 0,
@@ -293,24 +436,38 @@ impl Cluster {
             mot3d_mem::dram::DramKind::Weis3d => DramEnergyModel::weis_3d(),
         };
 
+        let l2_model = SramBank::model(&tech, SramConfig::l2_bank_date16())
+            .expect("Table I L2 geometry is valid");
+
+        let statuses = vec![CoreStatus::Ready; cores.len()];
+        let all_cores_mask = u32::MAX >> (32 - cores.len() as u32);
+
         Ok(Cluster {
             config,
             floorplan,
             map,
             interconnect,
             mot_cfg,
+            ready_mask: all_cores_mask,
+            computing_mask: 0,
+            barrier_mask: 0,
+            until: vec![0; cores.len()],
             cores,
+            statuses,
             banks,
+            physical_to_idx,
             bus: MissBus::new(TOTAL_BANKS + TOTAL_CORES, config.miss_bus_occupancy),
             dram: Dram::new(dram_timing, map),
             golden: config.check_golden.then(GoldenMemory::new),
-            txs: HashMap::new(),
-            next_tag: 0,
+            txs: GenSlab::new(),
             store_tokens: 0,
             events: BinaryHeap::new(),
             seq: 0,
             now: 0,
             paused: false,
+            finished_cores: 0,
+            scratch_cores: Vec::new(),
+            l2_access_cycles: l2_model.access_cycles(&tech),
             l1_hits: 0,
             l1_misses: 0,
             l2_hits: 0,
@@ -321,8 +478,7 @@ impl Cluster {
             l2_latency: LatencyStats::default(),
             l1_model: SramBank::model(&tech, SramConfig::l1_date16())
                 .expect("Table I L1 geometry is valid"),
-            l2_model: SramBank::model(&tech, SramConfig::l2_bank_date16())
-                .expect("Table I L2 geometry is valid"),
+            l2_model,
             core_power: CorePowerModel::cortex_a5_like(),
             dram_power: DramEnergyModel::off_chip_ddr3(),
             l1_reads: 0,
@@ -342,12 +498,36 @@ impl Cluster {
         self.now
     }
 
-    /// Whether every core finished and all machinery drained.
+    /// Whether every core finished and all machinery drained (O(1): every
+    /// term is a counter or an emptiness flag).
     pub fn is_done(&self) -> bool {
-        self.cores.iter().all(|c| c.status == CoreStatus::Finished)
+        self.finished_cores == self.cores.len()
             && self.txs.is_empty()
             && self.events.is_empty()
             && self.bus.is_idle()
+    }
+
+    /// Single point of truth for core-status transitions: updates the
+    /// status array and every derived mask/counter together.
+    #[inline]
+    fn set_status(&mut self, idx: usize, status: CoreStatus) {
+        let bit = 1u32 << idx;
+        self.ready_mask &= !bit;
+        self.computing_mask &= !bit;
+        self.barrier_mask &= !bit;
+        match status {
+            CoreStatus::Ready => self.ready_mask |= bit,
+            CoreStatus::Computing { until } => {
+                self.computing_mask |= bit;
+                self.until[idx] = until;
+            }
+            CoreStatus::AtBarrier { .. } => self.barrier_mask |= bit,
+            // `Finished` is terminal, so the count can only grow (reset
+            // rebuilds it from scratch).
+            CoreStatus::Finished => self.finished_cores += 1,
+            CoreStatus::WaitingMem | CoreStatus::WaitingIFetch => {}
+        }
+        self.statuses[idx] = status;
     }
 
     /// The physical bank that currently serves a home bank index.
@@ -359,7 +539,7 @@ impl Cluster {
     }
 
     fn l2_cycles(&self) -> u64 {
-        self.l2_model.access_cycles(&self.tech)
+        self.l2_access_cycles
     }
 
     fn schedule(&mut self, at: u64, action: Action) {
@@ -371,13 +551,6 @@ impl Cluster {
         }));
     }
 
-    fn fresh_tag(&mut self) -> u64 {
-        let tag = self.next_tag;
-        self.next_tag += 1;
-        debug_assert_ne!(tag, WB_TAG);
-        tag
-    }
-
     fn fresh_token(&mut self, core_idx: usize) -> u64 {
         self.store_tokens += 1;
         ((core_idx as u64 + 1) << 48) | self.store_tokens
@@ -385,22 +558,19 @@ impl Cluster {
 
     /// Starts a memory transaction for a core and blocks it.
     fn start_tx(&mut self, core_idx: usize, line: LineAddr, kind: TxKind) {
-        let tag = self.fresh_tag();
         let value = if matches!(kind, TxKind::Store | TxKind::Upgrade) {
             self.fresh_token(core_idx)
         } else {
             0
         };
-        self.txs.insert(
-            tag,
-            Tx {
-                core_idx,
-                line,
-                kind,
-                issued_at: self.now,
-                value,
-            },
-        );
+        let tag = self.txs.insert(Tx {
+            core_idx,
+            line,
+            kind,
+            issued_at: self.now,
+            value,
+        });
+        debug_assert_ne!(tag, WB_TAG);
         let physical = self.cores[core_idx].physical;
         self.interconnect.inject_request(
             self.now,
@@ -411,7 +581,7 @@ impl Cluster {
                 tag,
             },
         );
-        self.cores[core_idx].status = CoreStatus::WaitingMem;
+        self.set_status(core_idx, CoreStatus::WaitingMem);
     }
 
     /// L1 dirty eviction: functional state syncs immediately; a ghost
@@ -425,17 +595,14 @@ impl Cluster {
             dir.drop_core(physical);
         }
         let _ = data;
-        let tag = self.fresh_tag();
-        self.txs.insert(
-            tag,
-            Tx {
-                core_idx,
-                line,
-                kind: TxKind::L1Writeback,
-                issued_at: self.now,
-                value: 0,
-            },
-        );
+        let tag = self.txs.insert(Tx {
+            core_idx,
+            line,
+            kind: TxKind::L1Writeback,
+            issued_at: self.now,
+            value: 0,
+        });
+        debug_assert_ne!(tag, WB_TAG);
         self.interconnect.inject_request(
             self.now,
             MemRequest {
@@ -466,15 +633,16 @@ impl Cluster {
 
     /// Invalidate a line from a specific physical core's L1 (coherence).
     fn invalidate_l1(&mut self, physical: usize, line: LineAddr) {
-        if let Some(core) = self.cores.iter_mut().find(|c| c.physical == physical) {
-            core.l1.invalidate(line);
+        let idx = self.physical_to_idx[physical];
+        if idx != usize::MAX {
+            self.cores[idx].l1.invalidate(line);
         }
     }
 
     /// Services a request at its bank. Mutates architectural state now;
     /// schedules the response at the right time.
     fn service_bank(&mut self, bank_idx: usize, tag: u64, at_cycle: u64) {
-        let tx = *self.txs.get(&tag).expect("arrival has a transaction");
+        let tx = *self.txs.get(tag).expect("arrival has a transaction");
         assert!(
             self.banks[bank_idx].powered,
             "request arrived at gated bank {bank_idx}"
@@ -488,7 +656,7 @@ impl Cluster {
             // Ghost writeback: occupancy + stats only (state already
             // synced at eviction).
             self.banks[bank_idx].writes += 1;
-            self.txs.remove(&tag);
+            self.txs.remove(tag);
             return;
         }
 
@@ -528,7 +696,7 @@ impl Cluster {
     /// may find it already filled and owned — the blocking-cache
     /// equivalent of an MSHR merge).
     fn access_resident_line(&mut self, bank_idx: usize, tag: u64) -> u64 {
-        let tx = *self.txs.get(&tag).expect("transaction exists");
+        let tx = *self.txs.get(tag).expect("transaction exists");
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
         let mut extra = 0u64;
@@ -547,7 +715,8 @@ impl Cluster {
                 if is_store {
                     self.invalidate_l1(owner, tx.line);
                     self.invalidations += 1;
-                } else if let Some(core) = self.cores.iter_mut().find(|c| c.physical == owner) {
+                } else if self.physical_to_idx[owner] != usize::MAX {
+                    let core = &mut self.cores[self.physical_to_idx[owner]];
                     if let Some(meta) = core.l1.payload_mut(tx.line) {
                         meta.exclusive = false;
                     }
@@ -561,20 +730,21 @@ impl Cluster {
         }
 
         if is_store {
-            let victims: Vec<usize> = {
-                let dir = self.banks[bank_idx]
-                    .cache
-                    .payload_mut(tx.line)
-                    .expect("resident line has directory");
-                dir.grant_exclusive(physical)
-            };
+            let mut victims = std::mem::take(&mut self.scratch_cores);
+            victims.clear();
+            self.banks[bank_idx]
+                .cache
+                .payload_mut(tx.line)
+                .expect("resident line has directory")
+                .grant_exclusive_into(physical, &mut victims);
             if !victims.is_empty() {
                 extra += 2 * oneway + 2;
                 self.invalidations += victims.len() as u64;
-                for v in victims {
+                for &v in &victims {
                     self.invalidate_l1(v, tx.line);
                 }
             }
+            self.scratch_cores = victims;
             // Store becomes architecturally visible now.
             self.banks[bank_idx].cache.write(tx.line, tx.value);
             if let Some(golden) = &mut self.golden {
@@ -603,7 +773,7 @@ impl Cluster {
                     self.now
                 );
             }
-            self.txs.get_mut(&tag).expect("tx exists").value = value;
+            self.txs.get_mut(tag).expect("tx exists").value = value;
             self.banks[bank_idx].reads += 1;
         }
         extra
@@ -611,7 +781,7 @@ impl Cluster {
 
     /// DRAM refill arrives at the bank: fill, handle the victim, respond.
     fn refill_bank(&mut self, bank_idx: usize, tag: u64) {
-        let tx = *self.txs.get(&tag).expect("refill has a transaction");
+        let tx = *self.txs.get(tag).expect("refill has a transaction");
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
 
@@ -620,9 +790,9 @@ impl Cluster {
             let evicted = self.banks[bank_idx].cache.fill(tx.line, dram_value, false);
             if let Some(ev) = evicted {
                 // Maintain inclusion: kick the victim out of any L1
-                // holding it.
-                let holders: Vec<usize> = ev.payload.sharers().collect();
-                for h in holders {
+                // holding it (`ev` is owned, so the sharer iterator can
+                // drive the invalidations directly — no temporary).
+                for h in ev.payload.sharers() {
                     self.invalidate_l1(h, ev.addr);
                     self.invalidations += 1;
                 }
@@ -671,7 +841,7 @@ impl Cluster {
 
     /// A response arrived back at its core: complete the instruction.
     fn complete_delivery(&mut self, tag: u64, at_cycle: u64) {
-        let tx = self.txs.remove(&tag).expect("delivery has a transaction");
+        let tx = self.txs.remove(tag).expect("delivery has a transaction");
         self.l2_latency
             .record(at_cycle.saturating_sub(tx.issued_at));
         let physical = self.cores[tx.core_idx].physical;
@@ -706,22 +876,22 @@ impl Cluster {
             }
             TxKind::L1Writeback => unreachable!("writebacks have no responses"),
         }
-        self.cores[tx.core_idx].status = CoreStatus::Ready;
+        self.set_status(tx.core_idx, CoreStatus::Ready);
     }
 
     /// One core issue step.
     fn step_core(&mut self, idx: usize) {
-        match self.cores[idx].status {
+        match self.statuses[idx] {
             CoreStatus::Computing { until } if self.now >= until => {
-                self.cores[idx].status = CoreStatus::Ready;
+                self.set_status(idx, CoreStatus::Ready);
             }
             _ => {}
         }
-        if self.cores[idx].status != CoreStatus::Ready || self.paused {
+        if self.statuses[idx] != CoreStatus::Ready || self.paused {
             return;
         }
         let Some(op) = self.cores[idx].stream.next() else {
-            self.cores[idx].status = CoreStatus::Finished;
+            self.set_status(idx, CoreStatus::Finished);
             self.cores[idx].finished_at = Some(self.now);
             return;
         };
@@ -730,9 +900,12 @@ impl Cluster {
                 let c = &mut self.cores[idx];
                 c.busy_cycles += n as u64;
                 c.retired += n as u64;
-                c.status = CoreStatus::Computing {
-                    until: self.now + n as u64,
-                };
+                self.set_status(
+                    idx,
+                    CoreStatus::Computing {
+                        until: self.now + n as u64,
+                    },
+                );
             }
             StreamOp::Op(Op::Load(addr)) => {
                 let line = self.map.line_of(addr);
@@ -749,9 +922,12 @@ impl Cluster {
                             self.now
                         );
                     }
-                    self.cores[idx].status = CoreStatus::Computing {
-                        until: self.now + 1,
-                    };
+                    self.set_status(
+                        idx,
+                        CoreStatus::Computing {
+                            until: self.now + 1,
+                        },
+                    );
                 } else {
                     self.l1_misses += 1;
                     self.start_tx(idx, line, TxKind::Load);
@@ -782,9 +958,12 @@ impl Cluster {
                     if let Some(golden) = &mut self.golden {
                         golden.write(line, token);
                     }
-                    self.cores[idx].status = CoreStatus::Computing {
-                        until: self.now + 1,
-                    };
+                    self.set_status(
+                        idx,
+                        CoreStatus::Computing {
+                            until: self.now + 1,
+                        },
+                    );
                 } else if self.cores[idx].l1.peek(line).is_some() {
                     self.l1_misses += 1;
                     self.start_tx(idx, line, TxKind::Upgrade);
@@ -794,11 +973,11 @@ impl Cluster {
                 }
             }
             StreamOp::Op(Op::Barrier(id)) => {
-                self.cores[idx].status = CoreStatus::AtBarrier { id };
+                self.set_status(idx, CoreStatus::AtBarrier { id });
             }
             StreamOp::IFetchMiss(addr) => {
                 let physical = self.cores[idx].physical;
-                self.cores[idx].status = CoreStatus::WaitingIFetch;
+                self.set_status(idx, CoreStatus::WaitingIFetch);
                 self.bus.enqueue(Transfer {
                     requester: TOTAL_BANKS + physical,
                     tag: addr,
@@ -807,22 +986,22 @@ impl Cluster {
         }
     }
 
-    /// Releases barriers when every unfinished core reached one.
+    /// Releases barriers when every unfinished core reached one. O(1)
+    /// when the barrier is not ready: a core is at a barrier or finished
+    /// iff it is in `barrier_mask` / the finished count, so the release
+    /// condition is one popcount.
     fn check_barriers(&mut self) {
-        let mut any_waiting = false;
-        for c in &self.cores {
-            match c.status {
-                CoreStatus::AtBarrier { .. } => any_waiting = true,
-                CoreStatus::Finished => {}
-                _ => return, // someone still working: barrier not ready
-            }
+        if self.barrier_mask == 0 {
+            return;
         }
-        if any_waiting {
-            for c in &mut self.cores {
-                if matches!(c.status, CoreStatus::AtBarrier { .. }) {
-                    c.status = CoreStatus::Ready;
-                }
-            }
+        if self.barrier_mask.count_ones() as usize + self.finished_cores != self.cores.len() {
+            return; // someone still working: barrier not ready
+        }
+        let mut waiting = self.barrier_mask;
+        while waiting != 0 {
+            let idx = waiting.trailing_zeros() as usize;
+            waiting &= waiting - 1;
+            self.set_status(idx, CoreStatus::Ready);
         }
     }
 
@@ -866,8 +1045,8 @@ impl Cluster {
                     );
                 }
                 Action::IFetchDone { core_idx } => {
-                    if self.cores[core_idx].status == CoreStatus::WaitingIFetch {
-                        self.cores[core_idx].status = CoreStatus::Ready;
+                    if self.statuses[core_idx] == CoreStatus::WaitingIFetch {
+                        self.set_status(core_idx, CoreStatus::Ready);
                     }
                 }
             }
@@ -879,7 +1058,7 @@ impl Cluster {
                 if t.tag == WB_TAG {
                     // Victim writeback reached DRAM; already applied.
                 } else {
-                    let tx = self.txs.get(&t.tag).expect("bus transfer has tx");
+                    let tx = self.txs.get(t.tag).expect("bus transfer has tx");
                     let done = self.dram.access(now, tx.line, false);
                     self.dram_accesses += 1;
                     self.schedule(
@@ -896,7 +1075,8 @@ impl Cluster {
                 let line = self.map.line_of(t.tag);
                 let done = self.dram.access(now, line, false);
                 self.dram_accesses += 1;
-                if let Some(core_idx) = self.cores.iter().position(|c| c.physical == physical) {
+                let core_idx = self.physical_to_idx[physical];
+                if core_idx != usize::MAX {
                     self.schedule(done, Action::IFetchDone { core_idx });
                 }
             }
@@ -914,7 +1094,14 @@ impl Cluster {
 
         self.check_barriers();
 
-        for idx in 0..self.cores.len() {
+        // Only Ready cores can issue and only Computing cores can change
+        // state in `step_core`; walking the mask in ascending bit order
+        // visits them exactly as the full 0..cores scan would. Issuing
+        // never changes another core's status, so the snapshot is exact.
+        let mut actionable = self.ready_mask | self.computing_mask;
+        while actionable != 0 {
+            let idx = actionable.trailing_zeros() as usize;
+            actionable &= actionable - 1;
             self.step_core(idx);
         }
 
@@ -938,24 +1125,23 @@ impl Cluster {
         if !self.paused {
             // A paused cluster never issues, so core states cannot create
             // activity; unpaused, a Ready core issues this very cycle.
-            let mut any_barrier = false;
-            let mut all_blocked = true;
-            for c in &self.cores {
-                match c.status {
-                    CoreStatus::Ready => return Some(self.now),
-                    CoreStatus::Computing { until } => {
-                        all_blocked = false;
-                        merge(&mut wake, until);
-                    }
-                    CoreStatus::AtBarrier { .. } => any_barrier = true,
-                    CoreStatus::Finished => {}
-                    CoreStatus::WaitingMem | CoreStatus::WaitingIFetch => all_blocked = false,
-                }
+            if self.ready_mask != 0 {
+                return Some(self.now);
             }
             // Everyone unfinished is at the barrier: the release fires on
-            // the next step's barrier check.
-            if any_barrier && all_blocked {
+            // the next step's barrier check. (No core is Ready here, so
+            // barrier + finished covering all cores means none is
+            // computing or waiting.)
+            if self.barrier_mask != 0
+                && self.barrier_mask.count_ones() as usize + self.finished_cores == self.cores.len()
+            {
                 return Some(self.now);
+            }
+            let mut computing = self.computing_mask;
+            while computing != 0 {
+                let idx = computing.trailing_zeros() as usize;
+                computing &= computing - 1;
+                merge(&mut wake, self.until[idx]);
             }
         }
         if let Some(Reverse(s)) = self.events.peek() {
@@ -1072,12 +1258,16 @@ impl Cluster {
         }
         for (core, stream) in self.cores.iter_mut().zip(streams) {
             core.stream = stream;
-            core.status = CoreStatus::Ready;
             core.l1.clear();
             core.busy_cycles = 0;
             core.retired = 0;
             core.finished_at = None;
         }
+        self.statuses.fill(CoreStatus::Ready);
+        self.ready_mask = u32::MAX >> (32 - self.cores.len() as u32);
+        self.computing_mask = 0;
+        self.barrier_mask = 0;
+        self.until.fill(0);
         for (b, bank) in self.banks.iter_mut().enumerate() {
             bank.cache.clear();
             bank.powered = self.mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b));
@@ -1092,12 +1282,12 @@ impl Cluster {
             *golden = GoldenMemory::new();
         }
         self.txs.clear();
-        self.next_tag = 0;
         self.store_tokens = 0;
         self.events.clear();
         self.seq = 0;
         self.now = 0;
         self.paused = false;
+        self.finished_cores = 0;
         self.l1_hits = 0;
         self.l1_misses = 0;
         self.l2_hits = 0;
@@ -1207,8 +1397,7 @@ impl Cluster {
                     .cache
                     .invalidate(line)
                     .expect("line is resident");
-                let holders: Vec<usize> = ev.payload.sharers().collect();
-                for h in holders {
+                for h in ev.payload.sharers() {
                     self.invalidate_l1(h, line);
                     self.invalidations += 1;
                 }
@@ -1235,7 +1424,7 @@ impl Cluster {
         for (b, bank) in self.banks.iter_mut().enumerate() {
             bank.powered = new_cfg.is_bank_active(b);
         }
-        self.interconnect = Box::new(new_net);
+        self.interconnect = ClusterNet::Mot(new_net);
         self.mot_cfg = Some(new_cfg);
         self.config.power_state = new_state;
         Ok(())

@@ -69,6 +69,10 @@ pub struct CoreStream {
     private_bytes: u64,
     private_base: u64,
     hot_base: u64,
+    /// `(1.0 - mem_ratio).ln()`, hoisted out of the per-run geometric
+    /// draw (same bits as computing it inline — only the redundant `ln`
+    /// call is saved).
+    ln_one_minus_mem: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,6 +125,7 @@ impl CoreStream {
             private_bytes,
             private_base,
             hot_base,
+            ln_one_minus_mem: (1.0 - spec.mem_ratio).ln(),
         };
         stream.enter_phase(0);
         stream
@@ -187,8 +192,15 @@ impl CoreStream {
             (self.private_base, self.private_bytes, &mut self.private_ptr)
         };
         if self.rng.chance(self.spec.locality) {
-            *ptr = (*ptr + STRIDE) % size;
-            base + *ptr
+            // `ptr < size` and `STRIDE < size` (size ≥ LINE), so the wrap
+            // is a single conditional subtract — same value as `% size`
+            // without the per-access integer division.
+            let mut next = *ptr + STRIDE;
+            if next >= size {
+                next -= size;
+            }
+            *ptr = next;
+            base + next
         } else {
             let off = self.rng.next_below(size / STRIDE) * STRIDE;
             *ptr = off;
@@ -250,7 +262,7 @@ impl Iterator for CoreStream {
                         self.ops_left
                     } else {
                         let u = self.rng.next_f64().max(1e-18);
-                        ((u.ln() / (1.0 - p).ln()).floor() as u64).min(self.ops_left)
+                        ((u.ln() / self.ln_one_minus_mem).floor() as u64).min(self.ops_left)
                     };
                     if run == 0 {
                         self.pending_mem = false;
