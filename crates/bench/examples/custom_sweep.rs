@@ -1,0 +1,35 @@
+//! An ad-hoc declarative sweep: MoT vs True 3-D Mesh under two DRAM
+//! options, rendered as a generic table on stdout with a JSON-lines
+//! record stream on stderr progress.
+//!
+//! ```sh
+//! cargo run --release -p mot3d-bench --example custom_sweep
+//! ```
+//!
+//! The same grid from the CLI:
+//!
+//! ```sh
+//! mot3d sweep --bench fft,radix --interconnect mot3d,mesh --dram 200ns,42ns --scale tiny
+//! ```
+
+use mot3d_bench::plan::ExperimentPlan;
+use mot3d_bench::sink::TableSink;
+use mot3d_bench::{report, ExperimentScale};
+use mot3d_mem::dram::DramKind;
+use mot3d_noc::NocTopologyKind;
+use mot3d_sim::InterconnectChoice;
+use mot3d_workloads::SplashBenchmark;
+
+fn main() -> std::io::Result<()> {
+    let plan = ExperimentPlan::new("custom")
+        .splash([SplashBenchmark::Fft, SplashBenchmark::Radix])
+        .interconnects([
+            InterconnectChoice::Mot,
+            InterconnectChoice::Noc(NocTopologyKind::Mesh3d),
+        ])
+        .drams([DramKind::OffChipDdr3, DramKind::Weis3d])
+        .scale(ExperimentScale::tiny());
+    let mut table = TableSink::new(std::io::stdout());
+    plan.run_with(&mut [&mut table], report::stream_progress)?;
+    Ok(())
+}

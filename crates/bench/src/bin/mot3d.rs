@@ -1,0 +1,11 @@
+//! The unified `mot3d` experiment CLI — see [`mot3d_bench::cli`].
+//!
+//! ```sh
+//! mot3d all --scale tiny --json bench.json
+//! mot3d fig7 --scale 0.35 --threads 8
+//! mot3d sweep --interconnect mot3d,mesh --dram all --csv grid.csv
+//! ```
+
+fn main() {
+    std::process::exit(mot3d_bench::cli::run(std::env::args().skip(1)));
+}

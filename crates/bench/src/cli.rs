@@ -1,0 +1,879 @@
+//! The unified `mot3d` command-line interface.
+//!
+//! One binary replaces the seven per-figure executables: every canned
+//! artefact is a subcommand (`mot3d fig7 --scale 0.35 --threads 8`),
+//! and `mot3d sweep` exposes the full declarative
+//! [`ExperimentPlan`] grid for ad-hoc studies
+//! (`mot3d sweep --interconnect mot3d,mesh --dram 200ns,42ns`).
+//! Canned subcommands render stdout byte-identically to the binaries
+//! they replaced (pinned by `tests/plan_equivalence.rs`); machine
+//! consumers attach `--json` (JSON-lines) or `--csv` record sinks.
+//!
+//! The old `MOT3D_SCALE` / `MOT3D_THREADS` / `MOT3D_BENCH_JSON`
+//! environment variables keep working as **deprecated fallbacks** for
+//! `--scale` / `--threads` / `--bench-json`.
+
+use crate::experiments::{self, ExperimentScale};
+use crate::perf::Recorder;
+use crate::plan::{ExperimentPlan, RunRecord};
+use crate::pool;
+use crate::report;
+use crate::sink::{CsvSink, JsonLinesSink, PerfSink, RecordSink, TableSink};
+use mot3d_mem::dram::DramKind;
+use mot3d_mot::PowerState;
+use mot3d_noc::NocTopologyKind;
+use mot3d_sim::InterconnectChoice;
+use mot3d_workloads::SplashBenchmark;
+use std::io::{self, BufWriter};
+
+/// Entry point for the `mot3d` binary: parses `args` (without the
+/// program name), executes the subcommand, and returns the process
+/// exit code (0 = success, 1 = runtime/I-O failure, 2 = usage error).
+pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
+    let args: Vec<String> = args.into_iter().collect();
+    let (cmd, opts) = match parse(&args) {
+        Ok(parsed) => parsed,
+        Err(UsageError::Help) => {
+            print!("{}", usage());
+            return 0;
+        }
+        Err(UsageError::Bad(msg)) => {
+            eprintln!("mot3d: {msg}");
+            eprintln!();
+            eprint!("{}", usage());
+            return 2;
+        }
+    };
+    match execute(cmd, &opts) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("mot3d: {e}");
+            1
+        }
+    }
+}
+
+/// The CLI's subcommands (one per replaced binary, plus the ad-hoc
+/// `sweep` and `open-page`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cmd {
+    Table1,
+    Fig5,
+    Fig6,
+    Fig7,
+    Fig8,
+    OpenPage,
+    Ablation,
+    All,
+    Sweep,
+}
+
+/// Parsed command-line options (common + sweep axes).
+#[derive(Debug, Default)]
+struct Options {
+    scale: Option<ExperimentScale>,
+    threads: Option<usize>,
+    seed: Option<u64>,
+    json: Option<String>,
+    csv: Option<String>,
+    bench_json: Option<String>,
+    benches: Option<Vec<SplashBenchmark>>,
+    interconnects: Option<Vec<InterconnectChoice>>,
+    power_states: Option<Vec<PowerState>>,
+    drams: Option<Vec<DramKind>>,
+    pages: Option<Vec<bool>>,
+    repeats: u32,
+}
+
+enum UsageError {
+    Help,
+    Bad(String),
+}
+
+fn bad(msg: impl Into<String>) -> UsageError {
+    UsageError::Bad(msg.into())
+}
+
+fn usage() -> String {
+    "\
+mot3d — regenerate the DATE 2016 paper's tables and figures
+
+USAGE: mot3d <command> [options]
+
+COMMANDS:
+  table1     Table I — derived L2 cache latencies
+  fig5       Fig. 5 — wire lengths per power state
+  fig6       Fig. 6 — L2 latency + exec time across the four interconnects
+  fig7       Fig. 7 — EDP + exec time across the power states @ 200 ns DRAM
+  fig8       Fig. 8 — power-state sweep @ 63/42 ns DRAM + open-page study
+  open-page  flat vs open-page DRAM timing (Full connection)
+  ablation   sensitivity studies beyond the paper's figures
+  all        everything above, EXPERIMENTS.md-ready
+  sweep      ad-hoc declarative grid over any combination of axes
+  help       print this message
+
+OPTIONS (all commands):
+  --scale <factor|tiny>  run-length factor, default 0.35
+                         (deprecated fallback: MOT3D_SCALE)
+  --threads <n>          worker threads, default = available parallelism
+                         (deprecated fallback: MOT3D_THREADS)
+  --seed <u64>           workload seed override
+  --json <path>          stream every simulated run as JSON-lines records
+  --csv <path>           stream every simulated run as CSV rows
+  --bench-json <path>    write the perf-trajectory document
+                         (deprecated fallback: MOT3D_BENCH_JSON)
+                         (sink options need a simulating command, i.e.
+                         not table1/fig5)
+
+SWEEP OPTIONS (comma-separated lists; `all` expands an axis):
+  --bench <list|all>         cholesky,fft,fmm,ocean_contiguous,radix,
+                             raytrace,volrend,water-nsquared
+  --interconnect <list|all>  mot3d, mesh, bus-mesh, bus-tree
+  --power-state <list|all>   full, pc16-mb8, pc4-mb32, pc4-mb8 (any pcX-mbY)
+  --dram <list|all>          200ns, 63ns, 42ns
+  --page <flat|open|both>    DRAM page-policy axis
+  --repeat <n>               runs per grid cell (each repeat reseeds)
+
+EXAMPLES:
+  mot3d fig7 --scale 0.35 --threads 8 --json fig7.jsonl
+  mot3d all --scale tiny --json bench.json --bench-json BENCH_results.json
+  mot3d sweep --bench fft,radix --interconnect mot3d,mesh --dram all --csv grid.csv
+"
+    .to_string()
+}
+
+fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Err(UsageError::Help),
+        Some("table1") => Cmd::Table1,
+        Some("fig5") => Cmd::Fig5,
+        Some("fig6") => Cmd::Fig6,
+        Some("fig7") => Cmd::Fig7,
+        Some("fig8") => Cmd::Fig8,
+        Some("open-page") => Cmd::OpenPage,
+        Some("ablation") => Cmd::Ablation,
+        Some("all") => Cmd::All,
+        Some("sweep") => Cmd::Sweep,
+        Some(other) => return Err(bad(format!("unknown command {other:?}"))),
+    };
+    let mut opts = Options {
+        repeats: 1,
+        ..Options::default()
+    };
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            return Err(UsageError::Help);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| bad(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--scale" => {
+                opts.scale = Some(ExperimentScale::parse(value).map_err(bad)?);
+            }
+            "--threads" => {
+                let t: usize = value.parse().ok().filter(|&t| t > 0).ok_or_else(|| {
+                    bad(format!("--threads needs a positive integer, got {value:?}"))
+                })?;
+                opts.threads = Some(t);
+            }
+            "--seed" => {
+                let s: u64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("--seed needs an unsigned integer, got {value:?}")))?;
+                opts.seed = Some(s);
+            }
+            "--json" => opts.json = Some(value.clone()),
+            "--csv" => opts.csv = Some(value.clone()),
+            "--bench-json" => opts.bench_json = Some(value.clone()),
+            "--bench" => opts.benches = Some(parse_benches(value).map_err(bad)?),
+            "--interconnect" => {
+                opts.interconnects = Some(parse_interconnects(value).map_err(bad)?);
+            }
+            "--power-state" => {
+                opts.power_states = Some(parse_power_states(value).map_err(bad)?);
+            }
+            "--dram" => opts.drams = Some(parse_drams(value).map_err(bad)?),
+            "--page" => opts.pages = Some(parse_pages(value).map_err(bad)?),
+            "--repeat" => {
+                let r: u32 = value.parse().ok().filter(|&r| r > 0).ok_or_else(|| {
+                    bad(format!("--repeat needs a positive integer, got {value:?}"))
+                })?;
+                opts.repeats = r;
+            }
+            other => return Err(bad(format!("unknown option {other:?}"))),
+        }
+    }
+    let sweep_only = opts.benches.is_some()
+        || opts.interconnects.is_some()
+        || opts.power_states.is_some()
+        || opts.drams.is_some()
+        || opts.pages.is_some()
+        || opts.repeats != 1;
+    if sweep_only && cmd != Cmd::Sweep {
+        return Err(bad("axis options (--bench/--interconnect/--power-state/--dram/--page/--repeat) only apply to `mot3d sweep`"));
+    }
+    if matches!(cmd, Cmd::Table1 | Cmd::Fig5)
+        && (opts.json.is_some() || opts.csv.is_some() || opts.bench_json.is_some())
+    {
+        return Err(bad(
+            "--json/--csv/--bench-json record simulated runs; table1 and fig5 \
+             are derived analytically and run none",
+        ));
+    }
+    Ok((cmd, opts))
+}
+
+// ------------------------------------------------------- axis parsers
+
+fn split_list(raw: &str) -> impl Iterator<Item = &str> {
+    raw.split(',').map(str::trim).filter(|s| !s.is_empty())
+}
+
+fn parse_benches(raw: &str) -> Result<Vec<SplashBenchmark>, String> {
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return Ok(SplashBenchmark::all().to_vec());
+    }
+    split_list(raw)
+        .map(|name| {
+            SplashBenchmark::all()
+                .into_iter()
+                .find(|b| b.name().eq_ignore_ascii_case(name))
+                .ok_or_else(|| format!("unknown benchmark {name:?} (try --bench all)"))
+        })
+        .collect()
+}
+
+fn parse_interconnects(raw: &str) -> Result<Vec<InterconnectChoice>, String> {
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return Ok(experiments::fig6_interconnects().to_vec());
+    }
+    split_list(raw)
+        .map(|name| match name.to_ascii_lowercase().as_str() {
+            "mot" | "mot3d" | "3d-mot" => Ok(InterconnectChoice::Mot),
+            "mesh" | "mesh3d" | "3d-mesh" => Ok(InterconnectChoice::Noc(NocTopologyKind::Mesh3d)),
+            "bus-mesh" | "busmesh" => Ok(InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh)),
+            "bus-tree" | "bustree" => Ok(InterconnectChoice::Noc(NocTopologyKind::HybridBusTree)),
+            _ => Err(format!(
+                "unknown interconnect {name:?} (mot3d, mesh, bus-mesh, bus-tree)"
+            )),
+        })
+        .collect()
+}
+
+fn parse_power_states(raw: &str) -> Result<Vec<PowerState>, String> {
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return Ok(PowerState::date16_states().to_vec());
+    }
+    split_list(raw)
+        .map(|name| {
+            let lower = name.to_ascii_lowercase();
+            if lower == "full" {
+                return Ok(PowerState::full());
+            }
+            let parts = lower
+                .strip_prefix("pc")
+                .and_then(|rest| rest.split_once("-mb"));
+            let (cores, banks) = parts.ok_or_else(|| {
+                format!("unknown power state {name:?} (full or pcX-mbY, e.g. pc4-mb8)")
+            })?;
+            let cores: usize = cores
+                .parse()
+                .map_err(|_| format!("bad core count in power state {name:?}"))?;
+            let banks: usize = banks
+                .parse()
+                .map_err(|_| format!("bad bank count in power state {name:?}"))?;
+            PowerState::new(cores, banks).map_err(|e| format!("power state {name:?}: {e}"))
+        })
+        .collect()
+}
+
+fn parse_drams(raw: &str) -> Result<Vec<DramKind>, String> {
+    if raw.trim().eq_ignore_ascii_case("all") {
+        return Ok(vec![
+            DramKind::OffChipDdr3,
+            DramKind::WideIo,
+            DramKind::Weis3d,
+        ]);
+    }
+    split_list(raw)
+        .map(|name| match name.to_ascii_lowercase().as_str() {
+            "200ns" | "ddr3" | "off-chip" => Ok(DramKind::OffChipDdr3),
+            "63ns" | "wide-io" | "wideio" => Ok(DramKind::WideIo),
+            "42ns" | "weis" | "weis3d" => Ok(DramKind::Weis3d),
+            _ => Err(format!("unknown DRAM option {name:?} (200ns, 63ns, 42ns)")),
+        })
+        .collect()
+}
+
+fn parse_pages(raw: &str) -> Result<Vec<bool>, String> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "flat" => Ok(vec![false]),
+        "open" | "open-page" => Ok(vec![true]),
+        "both" | "all" => Ok(vec![false, true]),
+        other => Err(format!("unknown page policy {other:?} (flat, open, both)")),
+    }
+}
+
+// --------------------------------------------------------- execution
+
+/// The DRAM label strings the legacy renderers used.
+fn dram_label(dram: DramKind) -> &'static str {
+    match dram {
+        DramKind::OffChipDdr3 => "200 ns",
+        DramKind::WideIo => "63 ns (Wide I/O)",
+        DramKind::Weis3d => "42 ns (Weis 3-D)",
+    }
+}
+
+/// Everything a subcommand needs to run plans uniformly: the resolved
+/// scale, the optional thread pin, the perf recorder, and the file
+/// sinks shared by every plan of the invocation.
+struct Ctx {
+    scale: ExperimentScale,
+    seed_overridden: bool,
+    threads: Option<usize>,
+    banner_threads: usize,
+    recorder: Recorder,
+    file_sinks: Vec<Box<dyn RecordSink>>,
+    json: Option<String>,
+    csv: Option<String>,
+    bench_json: Option<String>,
+}
+
+/// The largest grid a subcommand executes, so banners and perf records
+/// never claim more workers than the pool can use. `sweep` is resolved
+/// once its plan is built (see [`Ctx::clamp_threads`]).
+fn max_jobs(cmd: Cmd) -> usize {
+    let benches = SplashBenchmark::all().len();
+    match cmd {
+        Cmd::Table1 | Cmd::Fig5 => 1,
+        Cmd::Fig6 | Cmd::Fig7 | Cmd::Fig8 | Cmd::All => benches * 4,
+        Cmd::OpenPage | Cmd::Ablation => benches * 2,
+        Cmd::Sweep => usize::MAX,
+    }
+}
+
+impl Ctx {
+    fn new(cmd: Cmd, opts: &Options) -> io::Result<Self> {
+        let mut scale = match opts.scale {
+            Some(s) => s,
+            None => {
+                if std::env::var_os("MOT3D_SCALE").is_some() {
+                    eprintln!("note: MOT3D_SCALE is deprecated; prefer `mot3d <cmd> --scale <s>`");
+                }
+                ExperimentScale::from_env()
+            }
+        };
+        if let Some(seed) = opts.seed {
+            scale.seed = seed;
+        }
+        if opts.threads.is_none() && std::env::var_os("MOT3D_THREADS").is_some() {
+            eprintln!("note: MOT3D_THREADS is deprecated; prefer `mot3d <cmd> --threads <n>`");
+        }
+        if opts.bench_json.is_none() && std::env::var_os("MOT3D_BENCH_JSON").is_some() {
+            eprintln!(
+                "note: MOT3D_BENCH_JSON is deprecated; prefer `mot3d <cmd> --bench-json <path>`"
+            );
+        }
+        let banner_threads = match opts.threads {
+            Some(t) => t,
+            None => experiments::sweep_threads(),
+        }
+        .min(max_jobs(cmd))
+        .max(1);
+        let mut file_sinks: Vec<Box<dyn RecordSink>> = Vec::new();
+        if let Some(path) = &opts.json {
+            let file = std::fs::File::create(path)?;
+            file_sinks.push(Box::new(JsonLinesSink::new(BufWriter::new(file))));
+        }
+        if let Some(path) = &opts.csv {
+            let file = std::fs::File::create(path)?;
+            file_sinks.push(Box::new(CsvSink::new(BufWriter::new(file))));
+        }
+        Ok(Ctx {
+            scale,
+            seed_overridden: opts.seed.is_some(),
+            threads: opts.threads,
+            banner_threads,
+            recorder: Recorder::new(scale.scale, banner_threads),
+            file_sinks,
+            json: opts.json.clone(),
+            csv: opts.csv.clone(),
+            bench_json: opts.bench_json.clone(),
+        })
+    }
+
+    /// Re-clamps the reported worker count once an ad-hoc grid's job
+    /// count is known, keeping the banner and the perf record honest.
+    fn clamp_threads(&mut self, jobs: usize) {
+        self.banner_threads = match self.threads {
+            Some(t) => t.min(jobs.max(1)),
+            None => pool::worker_threads(jobs),
+        };
+        self.recorder.set_threads(self.banner_threads);
+    }
+
+    /// Runs one plan through the invocation's sinks (+ a perf record
+    /// under `perf_name`, + an optional subcommand-specific sink),
+    /// streaming per-run progress lines to stderr when `stream` is set.
+    fn run_plan(
+        &mut self,
+        plan: ExperimentPlan,
+        perf_name: Option<&str>,
+        stream: bool,
+        extra: Option<&mut dyn RecordSink>,
+    ) -> io::Result<Vec<RunRecord>> {
+        let plan = match self.threads {
+            Some(t) => plan.threads(t),
+            None => plan,
+        };
+        let mut perf = perf_name.map(|name| PerfSink::new(&mut self.recorder, name));
+        let mut sinks: Vec<&mut dyn RecordSink> = self
+            .file_sinks
+            .iter_mut()
+            .map(|s| &mut **s as &mut dyn RecordSink)
+            .collect();
+        if let Some(perf) = perf.as_mut() {
+            sinks.push(perf);
+        }
+        if let Some(extra) = extra {
+            sinks.push(extra);
+        }
+        if stream {
+            plan.run_with(&mut sinks, report::stream_progress)
+        } else {
+            plan.run_with(&mut sinks, |_, _, _| {})
+        }
+    }
+
+    /// Writes the perf-trajectory document (`--bench-json`, or the
+    /// deprecated `MOT3D_BENCH_JSON`) and notes the record files.
+    fn finish(&self) -> io::Result<()> {
+        if !self.recorder.sweeps().is_empty() {
+            if let Some(path) = &self.bench_json {
+                std::fs::write(path, self.recorder.to_json())?;
+                eprintln!("bench results written to {path}");
+            } else {
+                self.recorder.write_if_requested();
+            }
+        }
+        if let Some(path) = &self.json {
+            eprintln!("run records written to {path}");
+        }
+        if let Some(path) = &self.csv {
+            eprintln!("run records written to {path}");
+        }
+        Ok(())
+    }
+}
+
+fn execute(cmd: Cmd, opts: &Options) -> io::Result<()> {
+    let mut ctx = Ctx::new(cmd, opts)?;
+    let scale = ctx.scale;
+    match cmd {
+        Cmd::Table1 => {
+            print!("{}", report::render_table1(&experiments::table1()));
+        }
+        Cmd::Fig5 => {
+            print!("{}", report::render_fig5(&experiments::fig5()));
+        }
+        Cmd::Fig6 => {
+            eprintln!(
+                "running Fig. 6 at scale {} on {} threads (--scale / --threads to change)...",
+                scale.scale, ctx.banner_threads,
+            );
+            let records = ctx.run_plan(ExperimentPlan::fig6(scale), Some("fig6"), true, None)?;
+            print!("{}", report::render_fig6(&experiments::fig6_rows(&records)));
+        }
+        Cmd::Fig7 => {
+            eprintln!(
+                "running Fig. 7 at scale {} on {} threads (--scale / --threads to change)...",
+                scale.scale, ctx.banner_threads,
+            );
+            let records =
+                ctx.run_plan(ExperimentPlan::fig7(scale), Some("fig7@200ns"), true, None)?;
+            let rows = experiments::fig7_rows(&records);
+            print!("{}", report::render_fig7(&rows, "200 ns"));
+            println!();
+            print!("{}", report::render_fig7_claims(&rows));
+        }
+        Cmd::Fig8 => {
+            eprintln!(
+                "running Fig. 8 at scale {} on {} threads (--scale / --threads to change)...",
+                scale.scale, ctx.banner_threads,
+            );
+            let at_63 = ctx.run_plan(
+                ExperimentPlan::fig8_at(scale, DramKind::WideIo),
+                Some("fig8@63ns"),
+                true,
+                None,
+            )?;
+            let at_42 = ctx.run_plan(
+                ExperimentPlan::fig8_at(scale, DramKind::Weis3d),
+                Some("fig8@42ns"),
+                true,
+                None,
+            )?;
+            print!(
+                "{}",
+                report::render_fig7(
+                    &experiments::fig7_rows(&at_63),
+                    dram_label(DramKind::WideIo)
+                )
+            );
+            println!();
+            print!(
+                "{}",
+                report::render_fig7(
+                    &experiments::fig7_rows(&at_42),
+                    dram_label(DramKind::Weis3d)
+                )
+            );
+            println!();
+            let open = ctx.run_plan(
+                ExperimentPlan::open_page_at(scale, DramKind::OffChipDdr3),
+                Some("open_page@200ns"),
+                false,
+                None,
+            )?;
+            print!(
+                "{}",
+                report::render_open_page(&experiments::open_page_rows(&open), "200 ns")
+            );
+        }
+        Cmd::OpenPage => {
+            eprintln!(
+                "running the open-page sweep at scale {} on {} threads (--scale / --threads to change)...",
+                scale.scale, ctx.banner_threads,
+            );
+            let open = ctx.run_plan(
+                ExperimentPlan::open_page_at(scale, DramKind::OffChipDdr3),
+                Some("open_page@200ns"),
+                true,
+                None,
+            )?;
+            print!(
+                "{}",
+                report::render_open_page(&experiments::open_page_rows(&open), "200 ns")
+            );
+        }
+        Cmd::Ablation => ablation(&mut ctx)?,
+        Cmd::All => all(&mut ctx)?,
+        Cmd::Sweep => sweep(&mut ctx, opts)?,
+    }
+    ctx.finish()
+}
+
+/// `mot3d all`: every experiment, EXPERIMENTS.md-ready (byte-identical
+/// to the legacy `all` binary).
+fn all(ctx: &mut Ctx) -> io::Result<()> {
+    let scale = ctx.scale;
+    eprintln!(
+        "running all experiments at scale {} on {} threads ...",
+        scale.scale, ctx.banner_threads,
+    );
+
+    println!("== Table I ==");
+    print!("{}", report::render_table1(&experiments::table1()));
+    println!("\n== Fig. 5 ==");
+    print!("{}", report::render_fig5(&experiments::fig5()));
+
+    println!("\n== Fig. 6 ==");
+    let f6 = ctx.run_plan(ExperimentPlan::fig6(scale), Some("fig6"), false, None)?;
+    print!("{}", report::render_fig6(&experiments::fig6_rows(&f6)));
+
+    println!("\n== Fig. 7 (200 ns DRAM) ==");
+    let f7 = ctx.run_plan(ExperimentPlan::fig7(scale), Some("fig7@200ns"), false, None)?;
+    let rows7 = experiments::fig7_rows(&f7);
+    print!("{}", report::render_fig7(&rows7, "200 ns"));
+    println!();
+    print!("{}", report::render_fig7_claims(&rows7));
+
+    println!("\n== Fig. 8 ==");
+    let at_63 = ctx.run_plan(
+        ExperimentPlan::fig8_at(scale, DramKind::WideIo),
+        Some("fig8@63ns"),
+        false,
+        None,
+    )?;
+    let at_42 = ctx.run_plan(
+        ExperimentPlan::fig8_at(scale, DramKind::Weis3d),
+        Some("fig8@42ns"),
+        false,
+        None,
+    )?;
+    let rows63 = experiments::fig7_rows(&at_63);
+    print!(
+        "{}",
+        report::render_fig7(&rows63, dram_label(DramKind::WideIo))
+    );
+    println!();
+    print!(
+        "{}",
+        report::render_fig7(
+            &experiments::fig7_rows(&at_42),
+            dram_label(DramKind::Weis3d)
+        )
+    );
+    println!();
+    print!("{}", report::render_fig7_claims(&rows63));
+
+    println!("\n== Open-page DRAM ==");
+    let open = ctx.run_plan(
+        ExperimentPlan::open_page_at(scale, DramKind::OffChipDdr3),
+        Some("open_page@200ns"),
+        false,
+        None,
+    )?;
+    print!(
+        "{}",
+        report::render_open_page(&experiments::open_page_rows(&open), "200 ns")
+    );
+    Ok(())
+}
+
+/// `mot3d ablation`: the sensitivity studies beyond the paper's four
+/// figures (byte-identical to the legacy `ablation` binary).
+fn ablation(ctx: &mut Ctx) -> io::Result<()> {
+    use mot3d_mot::latency::{MotLatency, MotTimingParams};
+    use mot3d_mot::topology::MotTopology;
+    use mot3d_phys::geometry::Floorplan;
+    use mot3d_phys::Technology;
+
+    let scale = ctx.scale;
+    println!("== Ablation 1: full power-state grid (EDP normalised to Full) ==");
+    for bench in [SplashBenchmark::Fft, SplashBenchmark::OceanContiguous] {
+        println!("\n{bench}:");
+        println!(
+            "{:<12} {:>10} {:>12} {:>12}",
+            "state", "cycles", "EDP ratio", "time ratio"
+        );
+        let grid = if ctx.seed_overridden {
+            ExperimentPlan::ablation_grid_seeded(scale, bench)
+        } else {
+            ExperimentPlan::ablation_grid(scale, bench)
+        };
+        let perf_name = format!("ablation@{bench}");
+        let records = ctx.run_plan(grid, Some(&perf_name), false, None)?;
+        let full = records[0].clone();
+        for rec in &records {
+            let state = rec.point.config.power_state;
+            println!(
+                "{:<12} {:>10} {:>12.3} {:>12.3}",
+                format!("PC{}-MB{}", state.active_cores(), state.active_banks()),
+                rec.metrics.cycles,
+                rec.derived.edp_js / full.derived.edp_js,
+                rec.metrics.cycles as f64 / full.metrics.cycles as f64,
+            );
+        }
+    }
+
+    println!("\n== Ablation 2: flat vs open-page DRAM (Full connection) ==");
+    let open = ctx.run_plan(
+        ExperimentPlan::open_page_at(scale, DramKind::OffChipDdr3),
+        Some("open_page@200ns"),
+        false,
+        None,
+    )?;
+    print!(
+        "{}",
+        report::render_open_page(&experiments::open_page_rows(&open), "200 ns")
+    );
+
+    println!("\n== Ablation 3: derived MoT latency by technology node ==");
+    println!("{:<16} {:>10} {:>10}", "state", "45nm-LP", "65nm-LP");
+    let fp = Floorplan::date16();
+    let topo = MotTopology::date16();
+    let params = MotTimingParams::default();
+    for state in PowerState::date16_states() {
+        let a = MotLatency::derive(&Technology::lp45(), &fp, topo, &params, state).unwrap();
+        let b = MotLatency::derive(&Technology::lp65(), &fp, topo, &params, state).unwrap();
+        println!(
+            "{:<16} {:>10} {:>10}",
+            state.to_string(),
+            a.round_trip(),
+            b.round_trip()
+        );
+    }
+    Ok(())
+}
+
+/// `mot3d sweep`: an ad-hoc declarative grid rendered through the
+/// generic table sink.
+fn sweep(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
+    let mut plan = ExperimentPlan::new("sweep")
+        .scale(ctx.scale)
+        .repeats(opts.repeats);
+    if let Some(benches) = &opts.benches {
+        plan = plan.splash(benches.iter().copied());
+    }
+    if let Some(ics) = &opts.interconnects {
+        plan = plan.interconnects(ics.iter().copied());
+    }
+    if let Some(states) = &opts.power_states {
+        plan = plan.power_states(states.iter().copied());
+    }
+    if let Some(drams) = &opts.drams {
+        plan = plan.drams(drams.iter().copied());
+    }
+    if let Some(pages) = &opts.pages {
+        plan = plan.page_policies(pages.iter().copied());
+    }
+    if let Err(msg) = plan.check() {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+    }
+    let jobs = plan.len();
+    ctx.clamp_threads(jobs);
+    eprintln!(
+        "running sweep: {} runs at scale {} on {} threads ...",
+        jobs, ctx.scale.scale, ctx.banner_threads,
+    );
+    let mut table = TableSink::new(io::stdout());
+    ctx.run_plan(plan, Some("sweep"), true, Some(&mut table))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_canned_subcommands_with_common_flags() {
+        let (cmd, opts) = parse(&argv("fig7 --scale 0.35 --threads 8 --json out.jsonl"))
+            .ok()
+            .unwrap();
+        assert_eq!(cmd, Cmd::Fig7);
+        assert_eq!(opts.scale.unwrap().scale, 0.35);
+        assert_eq!(opts.threads, Some(8));
+        assert_eq!(opts.json.as_deref(), Some("out.jsonl"));
+    }
+
+    #[test]
+    fn parses_tiny_scale_keyword() {
+        let (_, opts) = parse(&argv("all --scale tiny")).ok().unwrap();
+        assert_eq!(opts.scale.unwrap(), ExperimentScale::tiny());
+    }
+
+    #[test]
+    fn parses_sweep_axes() {
+        let (cmd, opts) = parse(&argv(
+            "sweep --bench fft,radix --interconnect mot3d,mesh --power-state full \
+             --dram 200ns,42ns --page both --repeat 2",
+        ))
+        .ok()
+        .unwrap();
+        assert_eq!(cmd, Cmd::Sweep);
+        assert_eq!(
+            opts.benches.unwrap(),
+            vec![SplashBenchmark::Fft, SplashBenchmark::Radix]
+        );
+        assert_eq!(
+            opts.interconnects.unwrap(),
+            vec![
+                InterconnectChoice::Mot,
+                InterconnectChoice::Noc(NocTopologyKind::Mesh3d)
+            ]
+        );
+        assert_eq!(opts.power_states.unwrap(), vec![PowerState::full()]);
+        assert_eq!(
+            opts.drams.unwrap(),
+            vec![DramKind::OffChipDdr3, DramKind::Weis3d]
+        );
+        assert_eq!(opts.pages.unwrap(), vec![false, true]);
+        assert_eq!(opts.repeats, 2);
+    }
+
+    #[test]
+    fn rejects_axis_flags_outside_sweep() {
+        assert!(matches!(
+            parse(&argv("fig7 --bench fft")),
+            Err(UsageError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_record_sinks_on_analytic_commands() {
+        for args in [
+            "table1 --json out.jsonl",
+            "fig5 --csv out.csv",
+            "table1 --bench-json perf.json",
+        ] {
+            assert!(
+                matches!(parse(&argv(args)), Err(UsageError::Bad(_))),
+                "{args}"
+            );
+        }
+        // …but simulating commands take them.
+        assert!(parse(&argv("open-page --json out.jsonl")).is_ok());
+    }
+
+    #[test]
+    fn banner_thread_clamp_tracks_each_commands_grid() {
+        assert_eq!(max_jobs(Cmd::Fig6), 32);
+        assert_eq!(max_jobs(Cmd::OpenPage), 16);
+        assert_eq!(max_jobs(Cmd::Ablation), 16);
+        assert_eq!(max_jobs(Cmd::Table1), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_commands_flags_and_values() {
+        assert!(matches!(parse(&argv("fig9")), Err(UsageError::Bad(_))));
+        assert!(matches!(
+            parse(&argv("fig7 --wat 3")),
+            Err(UsageError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&argv("fig7 --scale nope")),
+            Err(UsageError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&argv("fig7 --threads 0")),
+            Err(UsageError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&argv("fig7 --scale")),
+            Err(UsageError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn help_takes_priority() {
+        assert!(matches!(parse(&argv("")), Err(UsageError::Help)));
+        assert!(matches!(parse(&argv("help")), Err(UsageError::Help)));
+        assert!(matches!(parse(&argv("fig7 --help")), Err(UsageError::Help)));
+    }
+
+    #[test]
+    fn power_state_parser_accepts_generic_grid_points() {
+        let states = parse_power_states("full,pc8-mb16,PC4-MB8").unwrap();
+        assert_eq!(states[0], PowerState::full());
+        assert_eq!(states[1], PowerState::new(8, 16).unwrap());
+        assert_eq!(states[2], PowerState::pc4_mb8());
+        assert!(
+            parse_power_states("pc3-mb8").is_err(),
+            "3 cores is not a power of two"
+        );
+        assert!(parse_power_states("turbo").is_err());
+    }
+
+    #[test]
+    fn interconnect_all_matches_fig6_order() {
+        assert_eq!(
+            parse_interconnects("all").unwrap(),
+            experiments::fig6_interconnects().to_vec()
+        );
+    }
+
+    #[test]
+    fn dram_labels_match_the_legacy_renderer_strings() {
+        assert_eq!(dram_label(DramKind::OffChipDdr3), "200 ns");
+        assert_eq!(dram_label(DramKind::WideIo), "63 ns (Wide I/O)");
+        assert_eq!(dram_label(DramKind::Weis3d), "42 ns (Weis 3-D)");
+    }
+}

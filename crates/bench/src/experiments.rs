@@ -1,17 +1,19 @@
 //! Experiment runners, one per paper table/figure.
 //!
-//! The simulation sweeps (Fig. 6–8, open-page) are grids of independent
-//! runs; each grid is sharded across worker threads by
-//! [`crate::pool::parallel_map_streamed`] (thread count: `MOT3D_THREADS`,
-//! default = available parallelism), with results assembled in
-//! deterministic order — every thread count, including 1, produces
-//! bit-identical rows. The `*_streamed` variants additionally report each
-//! finished cell to a progress callback, which the experiment binaries
-//! stream to stderr.
+//! The simulation sweeps (Fig. 6–8, open-page) are canned
+//! [`crate::plan::ExperimentPlan`]s: each figure builds its declarative
+//! grid, executes it on the worker pool (thread count: `MOT3D_THREADS`,
+//! default = available parallelism), and folds the typed
+//! [`RunRecord`](crate::plan::RunRecord) stream back into the
+//! figure-shaped row structs the renderers consume. Every thread count,
+//! including 1, produces bit-identical rows; the `*_streamed` variants
+//! additionally report each finished cell to a progress callback.
+//!
+//! The golden-equivalence suite (`tests/plan_equivalence.rs`) pins each
+//! canned plan to the legacy hand-rolled sweep loops row for row and
+//! rendered byte for byte.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use crate::pool;
+use crate::plan::{ExperimentPlan, RunRecord};
 use mot3d_mem::dram::DramKind;
 use mot3d_mot::latency::{MotLatency, MotTimingParams};
 use mot3d_mot::topology::MotTopology;
@@ -19,7 +21,7 @@ use mot3d_mot::PowerState;
 use mot3d_noc::NocTopologyKind;
 use mot3d_phys::geometry::Floorplan;
 use mot3d_phys::Technology;
-use mot3d_sim::{run_benchmark, InterconnectChoice, Metrics, SimConfig};
+use mot3d_sim::InterconnectChoice;
 use mot3d_workloads::SplashBenchmark;
 
 /// Run-length and seed for an experiment batch.
@@ -31,18 +33,65 @@ pub struct ExperimentScale {
     pub seed: u64,
 }
 
-impl ExperimentScale {
-    /// Reads `MOT3D_SCALE` (default 0.35 ≈ 560 k instructions per
-    /// program — enough to pressure the L2 capacity axis).
-    pub fn from_env() -> Self {
-        let scale = std::env::var("MOT3D_SCALE")
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .filter(|s| *s > 0.0)
-            .unwrap_or(0.35);
+impl Default for ExperimentScale {
+    /// The default experiment length: 0.35 ≈ 560 k instructions per
+    /// program — enough to pressure the L2 capacity axis.
+    fn default() -> Self {
         ExperimentScale {
-            scale,
+            scale: 0.35,
             seed: 0x0DA7_E201,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Parses a scale value as accepted by `mot3d … --scale` and the
+    /// deprecated `MOT3D_SCALE` variable: a positive finite factor, or
+    /// the keyword `tiny` for [`ExperimentScale::tiny`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of why the value was
+    /// rejected.
+    pub fn parse(raw: &str) -> Result<Self, String> {
+        let trimmed = raw.trim();
+        if trimmed.eq_ignore_ascii_case("tiny") {
+            return Ok(ExperimentScale::tiny());
+        }
+        match trimmed.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => Ok(ExperimentScale {
+                scale: s,
+                ..ExperimentScale::default()
+            }),
+            Ok(s) => Err(format!("scale must be positive and finite, got {s}")),
+            Err(_) => Err(format!(
+                "not a number: {trimmed:?} (expected a positive factor or \"tiny\")"
+            )),
+        }
+    }
+
+    /// Reads the deprecated `MOT3D_SCALE` variable (default 0.35; see
+    /// [`ExperimentScale::default`]). A malformed value warns to stderr
+    /// **once** and falls back to the default — it is never silently
+    /// ignored. New code should pass `--scale` to the `mot3d` CLI
+    /// instead.
+    pub fn from_env() -> Self {
+        match std::env::var("MOT3D_SCALE") {
+            Err(_) => ExperimentScale::default(),
+            Ok(raw) => match ExperimentScale::parse(&raw) {
+                Ok(scale) => scale,
+                Err(why) => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    WARNED.call_once(|| {
+                        eprintln!(
+                            "warning: ignoring malformed MOT3D_SCALE={raw:?} ({why}); \
+                             using the default scale {}",
+                            ExperimentScale::default().scale
+                        );
+                    });
+                    ExperimentScale::default()
+                }
+            },
         }
     }
 
@@ -53,17 +102,6 @@ impl ExperimentScale {
             seed: 0x0DA7_E201,
         }
     }
-}
-
-fn base_config(seed: u64) -> SimConfig {
-    let mut cfg = SimConfig::date16();
-    cfg.seed = seed;
-    cfg
-}
-
-fn must_run(bench: SplashBenchmark, scale: f64, cfg: &SimConfig) -> Metrics {
-    run_benchmark(bench, scale, cfg)
-        .unwrap_or_else(|e| panic!("{bench} on {}: {e}", cfg.interconnect))
 }
 
 // ---------------------------------------------------------------- Table I
@@ -167,10 +205,10 @@ impl Fig6Row {
 }
 
 /// Worker threads a fig6/fig7-style 8 × 4 sweep grid will use (for the
-/// binaries' banner lines; derived from the actual job count so it can't
+/// CLI's banner lines; derived from the actual job count so it can't
 /// drift from the grids).
 pub fn sweep_threads() -> usize {
-    pool::worker_threads(SplashBenchmark::all().len() * 4)
+    crate::pool::worker_threads(SplashBenchmark::all().len() * 4)
 }
 
 /// The interconnect order of Fig. 6.
@@ -181,6 +219,29 @@ pub fn fig6_interconnects() -> [InterconnectChoice; 4] {
         InterconnectChoice::Noc(NocTopologyKind::HybridBusTree),
         InterconnectChoice::Mot,
     ]
+}
+
+/// Folds a [`ExperimentPlan::fig6`] record stream (bench-major, one
+/// record per interconnect) into Fig. 6 rows.
+pub fn fig6_rows(records: &[RunRecord]) -> Vec<Fig6Row> {
+    let per_bench = fig6_interconnects().len();
+    assert_eq!(records.len() % per_bench, 0, "fig6 grid must be complete");
+    records
+        .chunks(per_bench)
+        .map(|chunk| {
+            let mut l2 = [0.0; 4];
+            let mut cycles = [0u64; 4];
+            for (i, rec) in chunk.iter().enumerate() {
+                l2[i] = rec.derived.l2_latency_mean;
+                cycles[i] = rec.metrics.cycles;
+            }
+            Fig6Row {
+                bench: chunk[0].point.workload.clone(),
+                l2_latency: l2,
+                exec_cycles: cycles,
+            }
+        })
+        .collect()
 }
 
 /// Runs Fig. 6: all benchmarks over all four interconnects (Full state,
@@ -196,41 +257,10 @@ pub fn fig6_streamed(
     scale: ExperimentScale,
     progress: impl Fn(usize, usize, &str) + Sync,
 ) -> Vec<Fig6Row> {
-    let benches = SplashBenchmark::all();
-    let ics = fig6_interconnects();
-    let total = benches.len() * ics.len();
-    let done = AtomicUsize::new(0);
-    let cells = pool::parallel_map_streamed(
-        total,
-        |j| {
-            let cfg = base_config(scale.seed).with_interconnect(ics[j % ics.len()]);
-            let m = must_run(benches[j / ics.len()], scale.scale, &cfg);
-            (m.l2_latency.mean(), m.cycles)
-        },
-        |j, _| {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let label = format!("{} @ {}", benches[j / ics.len()], ics[j % ics.len()]);
-            progress(k, total, &label);
-        },
-    );
-    benches
-        .iter()
-        .enumerate()
-        .map(|(b, bench)| {
-            let mut l2 = [0.0; 4];
-            let mut cycles = [0u64; 4];
-            for i in 0..ics.len() {
-                let (lat, cyc) = cells[b * ics.len() + i];
-                l2[i] = lat;
-                cycles[i] = cyc;
-            }
-            Fig6Row {
-                bench: bench.to_string(),
-                l2_latency: l2,
-                exec_cycles: cycles,
-            }
-        })
-        .collect()
+    let records = ExperimentPlan::fig6(scale)
+        .run_with(&mut [], progress)
+        .expect("no sinks attached: no I/O to fail");
+    fig6_rows(&records)
 }
 
 // ----------------------------------------------------------------- Fig. 7/8
@@ -267,6 +297,29 @@ impl Fig7Row {
     }
 }
 
+/// Folds a [`ExperimentPlan::fig7_at`] record stream (bench-major, one
+/// record per power state) into Fig. 7 rows.
+pub fn fig7_rows(records: &[RunRecord]) -> Vec<Fig7Row> {
+    let per_bench = PowerState::date16_states().len();
+    assert_eq!(records.len() % per_bench, 0, "fig7 grid must be complete");
+    records
+        .chunks(per_bench)
+        .map(|chunk| {
+            let mut edp = [0.0; 4];
+            let mut cycles = [0u64; 4];
+            for (i, rec) in chunk.iter().enumerate() {
+                edp[i] = rec.derived.edp_js;
+                cycles[i] = rec.metrics.cycles;
+            }
+            Fig7Row {
+                bench: chunk[0].point.workload.clone(),
+                edp,
+                exec_cycles: cycles,
+            }
+        })
+        .collect()
+}
+
 /// Runs Fig. 7: all benchmarks over the four power states at the given
 /// DRAM option (Fig. 7 uses 200 ns; Fig. 8 reuses this at 63/42 ns),
 /// sharded across worker threads.
@@ -281,47 +334,10 @@ pub fn fig7_at_streamed(
     dram: DramKind,
     progress: impl Fn(usize, usize, &str) + Sync,
 ) -> Vec<Fig7Row> {
-    let benches = SplashBenchmark::all();
-    let states = PowerState::date16_states();
-    let total = benches.len() * states.len();
-    let done = AtomicUsize::new(0);
-    let cells = pool::parallel_map_streamed(
-        total,
-        |j| {
-            let cfg = base_config(scale.seed)
-                .with_power_state(states[j % states.len()])
-                .with_dram(dram);
-            let m = must_run(benches[j / states.len()], scale.scale, &cfg);
-            (m.edp().value(), m.cycles)
-        },
-        |j, _| {
-            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-            let label = format!(
-                "{} @ {} @ {dram}",
-                benches[j / states.len()],
-                states[j % states.len()]
-            );
-            progress(k, total, &label);
-        },
-    );
-    benches
-        .iter()
-        .enumerate()
-        .map(|(b, bench)| {
-            let mut edp = [0.0; 4];
-            let mut cycles = [0u64; 4];
-            for i in 0..states.len() {
-                let (e, cyc) = cells[b * states.len() + i];
-                edp[i] = e;
-                cycles[i] = cyc;
-            }
-            Fig7Row {
-                bench: bench.to_string(),
-                edp,
-                exec_cycles: cycles,
-            }
-        })
-        .collect()
+    let records = ExperimentPlan::fig7_at(scale, dram)
+        .run_with(&mut [], progress)
+        .expect("no sinks attached: no I/O to fail");
+    fig7_rows(&records)
 }
 
 /// Fig. 7 proper (200 ns DRAM).
@@ -330,8 +346,8 @@ pub fn fig7(scale: ExperimentScale) -> Vec<Fig7Row> {
 }
 
 // Fig. 8 is the same power-state sweep at the two on-chip DRAM
-// latencies: the `fig8` and `all` binaries call
-// [`fig7_at`]/[`fig7_at_streamed`] with [`DramKind::WideIo`] and
+// latencies: the `fig8` and `all` subcommands run
+// [`ExperimentPlan::fig8_at`] with [`DramKind::WideIo`] and
 // [`DramKind::Weis3d`] so each half can be timed separately.
 
 // ------------------------------------------------------------- Open page
@@ -361,35 +377,32 @@ impl OpenPageRow {
     }
 }
 
+/// Folds a [`ExperimentPlan::open_page_at`] record stream (bench-major,
+/// flat then open-page) into open-page rows.
+pub fn open_page_rows(records: &[RunRecord]) -> Vec<OpenPageRow> {
+    assert_eq!(records.len() % 2, 0, "open-page grid must be complete");
+    records
+        .chunks(2)
+        .map(|chunk| OpenPageRow {
+            bench: chunk[0].point.workload.clone(),
+            flat_cycles: chunk[0].metrics.cycles,
+            open_cycles: chunk[1].metrics.cycles,
+            flat_edp: chunk[0].derived.edp_js,
+            open_edp: chunk[1].derived.edp_js,
+        })
+        .collect()
+}
+
 /// Fig. 8-style open-page sweep (ROADMAP item): all benchmarks under
 /// flat vs open-page DRAM timing at the given DRAM option (Full
 /// connection), sharded across worker threads. Row-locality-heavy
 /// programs gain from the open row; row-thrashing ones pay the conflict
 /// penalty — the regression test pins the winning case.
 pub fn open_page_at(scale: ExperimentScale, dram: DramKind) -> Vec<OpenPageRow> {
-    let benches = SplashBenchmark::all();
-    let cells = pool::parallel_map(benches.len() * 2, |j| {
-        let cfg = base_config(scale.seed)
-            .with_dram(dram)
-            .with_open_page(j % 2 == 1);
-        let m = must_run(benches[j / 2], scale.scale, &cfg);
-        (m.cycles, m.edp().value())
-    });
-    benches
-        .iter()
-        .enumerate()
-        .map(|(b, bench)| {
-            let (flat_cycles, flat_edp) = cells[b * 2];
-            let (open_cycles, open_edp) = cells[b * 2 + 1];
-            OpenPageRow {
-                bench: bench.to_string(),
-                flat_cycles,
-                open_cycles,
-                flat_edp,
-                open_edp,
-            }
-        })
-        .collect()
+    let records = ExperimentPlan::open_page_at(scale, dram)
+        .run()
+        .expect("no sinks attached: no I/O to fail");
+    open_page_rows(&records)
 }
 
 /// Mean of a per-benchmark statistic over a named group.
@@ -415,6 +428,18 @@ pub fn group_max(rows: &[Fig7Row], group: &[SplashBenchmark], f: impl Fn(&Fig7Ro
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mot3d_sim::{run_benchmark, Metrics, SimConfig};
+
+    fn base_config(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::date16();
+        cfg.seed = seed;
+        cfg
+    }
+
+    fn must_run(bench: SplashBenchmark, scale: f64, cfg: &SimConfig) -> Metrics {
+        run_benchmark(bench, scale, cfg)
+            .unwrap_or_else(|e| panic!("{bench} on {}: {e}", cfg.interconnect))
+    }
 
     #[test]
     fn table1_matches_the_paper_exactly() {
@@ -434,6 +459,35 @@ mod tests {
         assert!((rows[0].horizontal_mm - 7.5).abs() < 1e-9);
         assert!((rows[3].horizontal_mm - 2.5).abs() < 1e-9);
         assert!(rows[3].active_wire_mm < rows[0].active_wire_mm / 4.0);
+    }
+
+    #[test]
+    fn scale_parse_accepts_factors_and_tiny() {
+        assert_eq!(ExperimentScale::parse("0.5").unwrap().scale, 0.5);
+        assert_eq!(ExperimentScale::parse(" 2 ").unwrap().scale, 2.0);
+        assert_eq!(
+            ExperimentScale::parse("tiny").unwrap(),
+            ExperimentScale::tiny()
+        );
+        assert_eq!(
+            ExperimentScale::parse("TINY").unwrap(),
+            ExperimentScale::tiny()
+        );
+    }
+
+    #[test]
+    fn scale_parse_rejects_malformed_values() {
+        // The malformed-MOT3D_SCALE path: every one of these must be
+        // reported (from_env warns once and falls back to the default),
+        // never silently clamped or ignored.
+        for bad in ["", "huge", "0", "-1", "0x10", "nan", "inf", "-inf"] {
+            let err = ExperimentScale::parse(bad);
+            assert!(err.is_err(), "{bad:?} must be rejected, got {err:?}");
+        }
+        assert!(
+            ExperimentScale::parse("nope").unwrap_err().contains("nope"),
+            "error must quote the offending value"
+        );
     }
 
     #[test]

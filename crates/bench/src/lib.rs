@@ -1,42 +1,57 @@
 //! # mot3d-bench — experiment harness
 //!
-//! Regenerates every table and figure of the paper's evaluation (§IV):
+//! Regenerates every table and figure of the paper's evaluation (§IV)
+//! through one declarative pipeline: an [`plan::ExperimentPlan`] names
+//! the sweep grid (workload × interconnect × power state × DRAM × page
+//! policy × repeat), expands it to typed [`plan::RunPoint`]s, executes
+//! them on the worker pool, and streams typed [`plan::RunRecord`]s
+//! through any set of [`sink::RecordSink`]s (pretty table, JSON-lines,
+//! CSV, perf tracker). The single `mot3d` binary ([`cli`]) fronts it
+//! all:
 //!
-//! | binary   | reproduces |
-//! |----------|------------|
-//! | `table1` | Table I — architecture configuration incl. derived L2 latencies |
-//! | `fig5`   | Fig. 5 — wire lengths per power state |
-//! | `fig6`   | Fig. 6 — L2 access latency + execution time across the four interconnects |
-//! | `fig7`   | Fig. 7 — EDP + execution time across the four power states @ 200 ns DRAM |
-//! | `fig8`   | Fig. 8 — EDP across power states @ 63 ns and 42 ns DRAM |
-//! | `all`    | everything above, in EXPERIMENTS.md-ready form |
+//! | subcommand | reproduces |
+//! |------------|------------|
+//! | `mot3d table1` | Table I — architecture configuration incl. derived L2 latencies |
+//! | `mot3d fig5`   | Fig. 5 — wire lengths per power state |
+//! | `mot3d fig6`   | Fig. 6 — L2 access latency + execution time across the four interconnects |
+//! | `mot3d fig7`   | Fig. 7 — EDP + execution time across the four power states @ 200 ns DRAM |
+//! | `mot3d fig8`   | Fig. 8 — EDP across power states @ 63 ns and 42 ns DRAM + open-page study |
+//! | `mot3d open-page` | flat vs open-page DRAM timing (Full connection) |
+//! | `mot3d ablation`  | sensitivity studies beyond the paper's figures |
+//! | `mot3d all`    | everything above, in EXPERIMENTS.md-ready form |
+//! | `mot3d sweep`  | any ad-hoc grid over the same axes |
 //!
-//! Run lengths scale with the `MOT3D_SCALE` environment variable
-//! (fraction of the default instruction budget; default 0.35 ≈ 560 k
-//! instructions per program — enough to pressure the L2 capacity axis).
-//! Absolute numbers are not expected to match the paper (different
-//! substrate); orderings, winners, and rough factors are (see
-//! `EXPERIMENTS.md`).
+//! Run lengths scale with `--scale` (fraction of the default
+//! instruction budget; default 0.35 ≈ 560 k instructions per program —
+//! enough to pressure the L2 capacity axis; `--scale tiny` for smoke
+//! runs). Absolute numbers are not expected to match the paper
+//! (different substrate); orderings, winners, and rough factors are
+//! (see `EXPERIMENTS.md`).
 //!
-//! The simulation sweeps shard their independent runs across worker
-//! threads ([`pool`]); set `MOT3D_THREADS` to bound the worker count
-//! (default: available parallelism). Results are bit-identical for every
-//! thread count.
+//! The sweeps shard their independent runs across worker threads
+//! ([`pool`]); `--threads` bounds the worker count (default: available
+//! parallelism). Results are bit-identical for every thread count.
 //!
-//! Set `MOT3D_BENCH_JSON=<path>` to have the `fig6`/`fig7`/`fig8`/`all`
-//! binaries also write machine-readable per-sweep timings (wall-clock,
-//! scale, thread count, table checksums — see [`perf`]) for the
-//! perf-trajectory tracking described in the README.
+//! `--json <path>` / `--csv <path>` attach machine-readable record
+//! sinks; `--bench-json <path>` writes per-sweep perf timings
+//! ([`perf`]) for the trajectory tracking described in the README. The
+//! pre-CLI environment variables (`MOT3D_SCALE`, `MOT3D_THREADS`,
+//! `MOT3D_BENCH_JSON`) remain supported as deprecated fallbacks.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cli;
 pub mod experiments;
 pub mod perf;
+pub mod plan;
 pub mod pool;
 pub mod report;
+pub mod sink;
 
 pub use experiments::{
     fig5, fig6, fig7, fig7_at, open_page_at, table1, ExperimentScale, Fig5Row, Fig6Row, Fig7Row,
     OpenPageRow, Table1Row,
 };
+pub use plan::{ExperimentPlan, RunPoint, RunRecord};
+pub use sink::{CsvSink, JsonLinesSink, PerfSink, RecordSink, TableSink};

@@ -60,14 +60,28 @@ impl Recorder {
         }
     }
 
+    /// Corrects the recorded worker count once the actual job count is
+    /// known (an ad-hoc sweep's parallelism depends on its grid size,
+    /// which is only resolved after the recorder is created).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
     /// Records one finished sweep: its wall-clock time, row count, and
     /// the rendered table it produced (checksummed, not stored).
     pub fn add(&mut self, name: &str, wall: Duration, rows: usize, rendered_table: &str) {
+        self.add_raw(name, wall, rows, fnv1a64(rendered_table.as_bytes()));
+    }
+
+    /// [`Recorder::add`] with a precomputed FNV-1a checksum — used by
+    /// [`crate::sink::PerfSink`], which folds the checksum incrementally
+    /// over the record stream instead of a rendered table.
+    pub fn add_raw(&mut self, name: &str, wall: Duration, rows: usize, checksum: u64) {
         self.sweeps.push(SweepRecord {
             name: name.to_string(),
             wall_s: wall.as_secs_f64(),
             rows,
-            checksum: format!("{:016x}", fnv1a64(rendered_table.as_bytes())),
+            checksum: format!("{checksum:016x}"),
         });
     }
 
@@ -123,9 +137,11 @@ impl Recorder {
     }
 }
 
-/// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit offset basis (the fold's starting value).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running FNV-1a hash (start from [`FNV_OFFSET`]).
+pub(crate) fn fnv1a64_fold(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -133,8 +149,13 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_fold(FNV_OFFSET, bytes)
+}
+
 /// Minimal JSON string escaping (quotes, backslash, control chars).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -62,7 +62,26 @@ where
     F: Fn(usize) -> T + Sync,
     C: Fn(usize, &T) + Sync,
 {
-    let threads = worker_threads(jobs);
+    parallel_map_streamed_on(worker_threads(jobs), jobs, f, on_done)
+}
+
+/// [`parallel_map_streamed`] with an **explicit** worker count instead of
+/// the `MOT3D_THREADS`/parallelism default — the hook that lets an
+/// [`crate::plan::ExperimentPlan`] pin its thread count without touching
+/// global state (and lets tests prove thread-count invariance without
+/// racing on environment variables). `threads` is clamped to at least 1
+/// and at most `jobs`.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have stopped.
+pub fn parallel_map_streamed_on<T, F, C>(threads: usize, jobs: usize, f: F, on_done: C) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(usize, &T) + Sync,
+{
+    let threads = threads.clamp(1, jobs.max(1));
     if threads <= 1 || jobs <= 1 {
         return (0..jobs)
             .map(|i| {
@@ -130,5 +149,14 @@ mod tests {
     fn worker_threads_never_exceeds_jobs() {
         assert_eq!(worker_threads(1), 1);
         assert!(worker_threads(1000) >= 1);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let want: Vec<usize> = (0..48).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 7, 48, 500] {
+            let got = parallel_map_streamed_on(threads, 48, |i| i * 3 + 1, |_, _| {});
+            assert_eq!(got, want, "threads = {threads}");
+        }
     }
 }

@@ -39,4 +39,4 @@ pub use cluster::Cluster;
 pub use config::{InterconnectChoice, SimConfig};
 pub use error::SimError;
 pub use metrics::Metrics;
-pub use runner::{run_benchmark, run_spec, ClusterPool};
+pub use runner::{run_benchmark, run_source, run_spec, shrink_local_pool, ClusterPool};

@@ -13,11 +13,21 @@ use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::Metrics;
-use mot3d_workloads::{streams, SplashBenchmark, WorkloadSpec};
+use mot3d_workloads::{streams, SplashBenchmark, WorkloadSource, WorkloadSpec};
 use std::cell::RefCell;
 use std::collections::{hash_map::Entry, HashMap};
 
 /// A cache of reusable clusters, keyed by configuration.
+///
+/// The pool is **unbounded**: it caches one cluster per *distinct*
+/// [`SimConfig`] it has ever run, and a cluster (16 L1s + 32 L2 banks +
+/// interconnect state) is megabytes of arrays. The paper's canned sweeps
+/// touch at most a handful of configurations per worker thread, so
+/// growth is naturally capped there — but a long ad-hoc sweep over many
+/// axes (seeds, DRAM options, power states, page policies) accumulates
+/// one cluster for *every* grid cell it visits. Such callers should
+/// [`ClusterPool::shrink_to`] (or [`shrink_local_pool`] for the
+/// thread-local pool behind [`run_spec`]) between sweeps.
 ///
 /// # Examples
 ///
@@ -33,6 +43,10 @@ use std::collections::{hash_map::Entry, HashMap};
 /// let b = pool.run_spec(&SplashBenchmark::Fft.spec().scaled(0.002), &cfg)?;
 /// assert_eq!(a.cycles, b.cycles);
 /// assert_eq!(pool.len(), 1);
+///
+/// // Long ad-hoc sweeps bound the cache between phases:
+/// pool.shrink_to(0);
+/// assert!(pool.is_empty());
 /// # Ok::<(), mot3d_sim::SimError>(())
 /// ```
 #[derive(Debug, Default)]
@@ -59,6 +73,25 @@ impl ClusterPool {
     /// Drops every cached cluster (frees their cache arrays).
     pub fn clear(&mut self) {
         self.clusters.clear();
+    }
+
+    /// Drops cached clusters until at most `n` configurations remain.
+    ///
+    /// Which clusters survive is unspecified (the cache is a
+    /// `HashMap`); correctness never depends on it — a dropped
+    /// configuration is simply rebuilt on its next run, bit-identically.
+    /// Call this between the phases of a long ad-hoc sweep so the pool
+    /// does not hold every configuration it has ever seen alive (see the
+    /// type-level docs).
+    pub fn shrink_to(&mut self, n: usize) {
+        if n == 0 {
+            self.clusters.clear();
+            return;
+        }
+        while self.clusters.len() > n {
+            let key = *self.clusters.keys().next().expect("len > n ≥ 1");
+            self.clusters.remove(&key);
+        }
     }
 
     /// Runs a workload spec on a cluster configuration to completion,
@@ -88,6 +121,24 @@ impl ClusterPool {
             "{} @ {} @ {} @ {}",
             spec.name, config.interconnect, config.power_state, config.dram
         )))
+    }
+
+    /// Runs a [`WorkloadSource`] at length `scale` on a configuration,
+    /// resolving the source to its concrete spec first (see
+    /// [`WorkloadSource::resolve`]). This is the entry point the
+    /// declarative experiment plans use, so a plan axis can name any
+    /// workload backend — synthetic preset today, trace-driven tomorrow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from construction, reset, or the run.
+    pub fn run_source(
+        &mut self,
+        source: &dyn WorkloadSource,
+        scale: f64,
+        config: &SimConfig,
+    ) -> Result<Metrics, SimError> {
+        self.run_spec(&source.resolve(scale), config)
     }
 }
 
@@ -121,6 +172,39 @@ pub fn run_spec(spec: &WorkloadSpec, config: &SimConfig) -> Result<Metrics, SimE
     POOL.with(|pool| pool.borrow_mut().run_spec(spec, config))
 }
 
+/// [`run_spec`] for a [`WorkloadSource`]: resolves the source at length
+/// `scale` and runs it on the thread-local [`ClusterPool`].
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or the run.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_sim::{run_source, SimConfig};
+/// use mot3d_workloads::SplashBenchmark;
+///
+/// let m = run_source(&SplashBenchmark::Fft, 0.002, &SimConfig::date16())?;
+/// assert!(m.cycles > 0);
+/// # Ok::<(), mot3d_sim::SimError>(())
+/// ```
+pub fn run_source(
+    source: &dyn WorkloadSource,
+    scale: f64,
+    config: &SimConfig,
+) -> Result<Metrics, SimError> {
+    POOL.with(|pool| pool.borrow_mut().run_source(source, scale, config))
+}
+
+/// Shrinks the calling thread's [`run_spec`] cluster cache to at most
+/// `n` configurations (see [`ClusterPool::shrink_to`]). Long-lived
+/// threads that drive many distinct configurations — ad-hoc sweeps, REPL
+/// sessions — call this between sweeps to bound memory.
+pub fn shrink_local_pool(n: usize) {
+    POOL.with(|pool| pool.borrow_mut().shrink_to(n));
+}
+
 /// Runs one of the eight SPLASH-2-style programs at a given length scale
 /// (1.0 = the default experiment length; tests use ≤ 0.01).
 ///
@@ -144,6 +228,41 @@ mod tests {
 
     fn tiny() -> WorkloadSpec {
         SplashBenchmark::Fmm.spec().scaled(0.002)
+    }
+
+    #[test]
+    fn shrink_to_bounds_the_cache_without_changing_results() {
+        let mut pool = ClusterPool::new();
+        let spec = tiny();
+        let configs = [
+            SimConfig::date16(),
+            SimConfig::date16().with_power_state(PowerState::pc16_mb8()),
+            SimConfig::date16().with_power_state(PowerState::pc4_mb8()),
+        ];
+        let fresh: Vec<_> = configs
+            .iter()
+            .map(|c| pool.run_spec(&spec, c).unwrap())
+            .collect();
+        assert_eq!(pool.len(), 3);
+        pool.shrink_to(1);
+        assert_eq!(pool.len(), 1);
+        // Evicted configurations are rebuilt bit-identically.
+        for (c, want) in configs.iter().zip(&fresh) {
+            let again = pool.run_spec(&spec, c).unwrap();
+            assert_eq!(again.cycles, want.cycles);
+            assert_eq!(again.l2_hits, want.l2_hits);
+        }
+        pool.shrink_to(0);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn run_source_matches_run_spec() {
+        let bench = SplashBenchmark::Fmm;
+        let cfg = SimConfig::date16();
+        let via_source = run_source(&bench, 0.002, &cfg).unwrap();
+        let via_spec = run_spec(&bench.spec().scaled(0.002), &cfg).unwrap();
+        assert_eq!(via_source, via_spec);
     }
 
     #[test]

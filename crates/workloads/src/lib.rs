@@ -11,6 +11,8 @@
 //!
 //! * [`spec`] — the parameter set and the [`spec::Op`] vocabulary;
 //! * [`splash`] — presets for the eight evaluated programs;
+//! * [`source`] — the [`WorkloadSource`] abstraction experiment plans
+//!   sweep over (a future trace-driven backend is another implementor);
 //! * [`generator`] — deterministic stream generation (Amdahl serial
 //!   sections, rotating imbalance, barrier phases);
 //! * [`rng`] — the self-contained xoshiro256** generator.
@@ -31,9 +33,11 @@
 
 pub mod generator;
 pub mod rng;
+pub mod source;
 pub mod spec;
 pub mod splash;
 
 pub use generator::{streams, CoreStream, StreamOp};
+pub use source::WorkloadSource;
 pub use spec::{Op, WorkloadSpec};
 pub use splash::SplashBenchmark;

@@ -1,0 +1,93 @@
+//! Workload *sources* — the abstraction an experiment plan sweeps over.
+//!
+//! The experiment harness used to be hardwired to [`SplashBenchmark`]:
+//! every sweep axis named one of the eight synthetic presets. A
+//! [`WorkloadSource`] decouples the plan from the preset table: anything
+//! that can resolve to a concrete [`WorkloadSpec`] at a given length
+//! scale can sit on a plan's workload axis. Today that is the two
+//! synthetic forms ([`SplashBenchmark`] and a raw [`WorkloadSpec`]);
+//! the ROADMAP's trace-driven backend becomes a third implementor that
+//! derives its spec (footprint, mix, locality, phase structure) from a
+//! recorded trace instead of a preset.
+
+use crate::spec::WorkloadSpec;
+use crate::splash::SplashBenchmark;
+use std::fmt;
+
+/// Anything that can supply a workload for one simulated run.
+///
+/// Implementors resolve to a concrete [`WorkloadSpec`] at a given length
+/// `scale` (fraction of the source's default instruction budget, the
+/// same factor [`WorkloadSpec::scaled`] applies). Resolution must be
+/// **pure**: the same `(source, scale)` pair always yields the same
+/// spec, which the harness's bit-identical-results guarantees rely on.
+///
+/// # Examples
+///
+/// ```
+/// use mot3d_workloads::{SplashBenchmark, WorkloadSource};
+///
+/// let src: &dyn WorkloadSource = &SplashBenchmark::Fft;
+/// let spec = src.resolve(0.01);
+/// assert_eq!(src.source_name(), "fft");
+/// assert_eq!(spec, SplashBenchmark::Fft.spec().scaled(0.01));
+/// ```
+pub trait WorkloadSource: fmt::Debug + Send + Sync {
+    /// The workload's display name (used in run labels and sink rows).
+    fn source_name(&self) -> String;
+
+    /// Resolves to the concrete spec at `scale` × the default length.
+    fn resolve(&self, scale: f64) -> WorkloadSpec;
+}
+
+impl WorkloadSource for SplashBenchmark {
+    fn source_name(&self) -> String {
+        self.name().to_string()
+    }
+
+    fn resolve(&self, scale: f64) -> WorkloadSpec {
+        self.spec().scaled(scale)
+    }
+}
+
+impl WorkloadSource for WorkloadSpec {
+    fn source_name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn resolve(&self, scale: f64) -> WorkloadSpec {
+        self.scaled(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splash_source_matches_direct_spec() {
+        for b in SplashBenchmark::all() {
+            assert_eq!(b.resolve(0.01), b.spec().scaled(0.01));
+            assert_eq!(b.source_name(), b.name());
+        }
+    }
+
+    #[test]
+    fn spec_source_scales_itself() {
+        let spec = SplashBenchmark::Radix.spec();
+        assert_eq!(spec.resolve(0.5), spec.scaled(0.5));
+        assert_eq!(spec.source_name(), "radix");
+    }
+
+    #[test]
+    fn sources_are_object_safe() {
+        let sources: Vec<Box<dyn WorkloadSource>> = vec![
+            Box::new(SplashBenchmark::Fmm),
+            Box::new(SplashBenchmark::Fmm.spec()),
+        ];
+        for s in &sources {
+            assert_eq!(s.source_name(), "fmm");
+            assert!(s.resolve(0.002).total_ops > 0);
+        }
+    }
+}
