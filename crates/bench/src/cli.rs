@@ -31,6 +31,13 @@ use std::io::{self, BufWriter};
 /// exit code (0 = success, 1 = runtime/I-O failure, 2 = usage error).
 pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
     let args: Vec<String> = args.into_iter().collect();
+    // Tool subcommands own their argument grammar (their flags don't
+    // all take values), so dispatch before the option parser runs.
+    match args.first().map(String::as_str) {
+        Some("lint") => return mot3d_lint::run_cli(&args[1..]),
+        Some("perf") => return crate::perfcheck::run_cli(&args[1..]),
+        _ => {}
+    }
     let (cmd, opts) = match parse(&args) {
         Ok(parsed) => parsed,
         Err(UsageError::Help) => {
@@ -110,6 +117,8 @@ COMMANDS:
   ablation   sensitivity studies beyond the paper's figures
   all        everything above, EXPERIMENTS.md-ready
   sweep      ad-hoc declarative grid over any combination of axes
+  lint       run the mot3d-lint static-analysis pass (see `lint --help`)
+  perf       `perf check` — compare a fresh run against BENCH_results.json
   help       print this message
 
 OPTIONS (all commands):

@@ -44,6 +44,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod perf;
+pub mod perfcheck;
 pub mod plan;
 pub mod pool;
 pub mod report;

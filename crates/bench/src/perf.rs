@@ -137,17 +137,10 @@ impl Recorder {
     }
 }
 
-/// The FNV-1a 64-bit offset basis (the fold's starting value).
-pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Folds `bytes` into a running FNV-1a hash (start from [`FNV_OFFSET`]).
-pub(crate) fn fnv1a64_fold(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// The FNV-1a 64-bit offset basis (re-exported from the workspace's
+/// single FNV implementation in `mot3d_phys::fnv`, which the
+/// deterministic hash collections also use).
+pub(crate) use mot3d_phys::fnv::{fnv1a64_fold, FNV_OFFSET};
 
 /// FNV-1a over bytes: tiny, dependency-free, stable across platforms.
 fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -1,0 +1,550 @@
+//! `mot3d perf check` — regression gate against a committed perf
+//! baseline.
+//!
+//! [`crate::perf::Recorder`] documents (`BENCH_results.json`) pin two
+//! things per sweep: an FNV-1a checksum of the record stream (*what*
+//! was computed) and the wall-clock time (*how fast*). This module
+//! closes the loop: it re-runs every sweep named in a committed
+//! baseline at the baseline's scale and compares both.
+//!
+//! * A **checksum or row-count mismatch always fails** — the code now
+//!   computes different results than the commit that wrote the
+//!   baseline, which is either an unrefreshed baseline or a silent
+//!   determinism break.
+//! * A **wall-clock regression** beyond the tolerance (default 25 %)
+//!   fails unless `--checksum-only` is set. CI's smoke job runs
+//!   checksum-only at tiny scale — wall time on shared runners is
+//!   noise, but bit-identical reruns are not negotiable.
+//!
+//! The baseline parser is deliberately minimal: it reads the flat
+//! schema-1 documents [`crate::perf::Recorder::to_json`] writes (and
+//! nothing more general), keeping the build offline and free of a JSON
+//! dependency.
+
+use crate::experiments::ExperimentScale;
+use crate::perf::{Recorder, SweepRecord};
+use crate::plan::ExperimentPlan;
+use crate::sink::{PerfSink, RecordSink};
+use mot3d_mem::dram::DramKind;
+
+/// A parsed `BENCH_results.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Run-length factor the baseline was recorded at.
+    pub scale: f64,
+    /// Worker threads the baseline was recorded with.
+    pub threads: usize,
+    /// The recorded sweeps.
+    pub sweeps: Vec<SweepRecord>,
+}
+
+/// Parses a schema-1 perf document (as written by
+/// [`Recorder::to_json`]).
+///
+/// # Errors
+///
+/// Returns a message naming the missing or malformed field.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let schema = extract_num(text, "schema").ok_or("missing \"schema\"")?;
+    if schema != 1.0 {
+        return Err(format!("unsupported schema {schema} (expected 1)"));
+    }
+    let scale = extract_num(text, "scale").ok_or("missing \"scale\"")?;
+    let threads = extract_num(text, "threads").ok_or("missing \"threads\"")? as usize;
+    let array = text
+        .find("\"sweeps\"")
+        .and_then(|i| {
+            let open = text[i..].find('[')? + i;
+            let close = text[open..].find(']')? + open;
+            Some(&text[open + 1..close])
+        })
+        .ok_or("missing \"sweeps\" array")?;
+    let mut sweeps = Vec::new();
+    for obj in split_objects(array) {
+        sweeps.push(SweepRecord {
+            name: extract_str(obj, "name").ok_or("sweep without \"name\"")?,
+            wall_s: extract_num(obj, "wall_s").ok_or("sweep without \"wall_s\"")?,
+            rows: extract_num(obj, "rows").ok_or("sweep without \"rows\"")? as usize,
+            checksum: extract_str(obj, "checksum").ok_or("sweep without \"checksum\"")?,
+        });
+    }
+    if sweeps.is_empty() {
+        return Err("baseline records no sweeps".to_string());
+    }
+    Ok(Baseline {
+        scale,
+        threads,
+        sweeps,
+    })
+}
+
+/// Top-level `{…}` object slices inside an array body (no nested
+/// objects or braces-in-strings in this schema, so depth counting is
+/// exact).
+fn split_objects(array: &str) -> Vec<&str> {
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in array.char_indices() {
+        match c {
+            '{' => {
+                if depth == 0 {
+                    start = i;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    objects.push(&array[start..=i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    objects
+}
+
+fn extract_num(text: &str, key: &str) -> Option<f64> {
+    let rest = after_key(text, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn extract_str(text: &str, key: &str) -> Option<String> {
+    let rest = after_key(text, key)?;
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn after_key<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let pat = format!("\"{key}\":");
+    let idx = text.find(&pat)? + pat.len();
+    Some(text[idx..].trim_start())
+}
+
+/// The canned plan a baseline sweep name corresponds to, or `None` for
+/// names `perf check` cannot regenerate (ad-hoc sweeps).
+pub fn plan_for(name: &str, scale: ExperimentScale) -> Option<ExperimentPlan> {
+    match name {
+        "fig6" => Some(ExperimentPlan::fig6(scale)),
+        "fig7@200ns" => Some(ExperimentPlan::fig7(scale)),
+        "fig8@63ns" => Some(ExperimentPlan::fig8_at(scale, DramKind::WideIo)),
+        "fig8@42ns" => Some(ExperimentPlan::fig8_at(scale, DramKind::Weis3d)),
+        "open_page@200ns" => Some(ExperimentPlan::open_page_at(scale, DramKind::OffChipDdr3)),
+        _ => None,
+    }
+}
+
+/// Options for `mot3d perf check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOptions {
+    /// Baseline document path (default `BENCH_results.json`).
+    pub against: String,
+    /// Compare only checksums/rows, never wall-clock (the CI smoke
+    /// setting — runner timing is noise, determinism is not).
+    pub checksum_only: bool,
+    /// Allowed wall-clock growth in percent (default 25).
+    pub max_regress_pct: f64,
+    /// Worker-thread override; defaults to the baseline's count so
+    /// wall times stay comparable.
+    pub threads: Option<usize>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            against: "BENCH_results.json".to_string(),
+            checksum_only: false,
+            max_regress_pct: 25.0,
+            threads: None,
+        }
+    }
+}
+
+/// The outcome of one sweep comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// Sweep name.
+    pub name: String,
+    /// Baseline record.
+    pub baseline: SweepRecord,
+    /// Fresh re-run record, or `None` when the name maps to no plan.
+    pub fresh: Option<SweepRecord>,
+    /// Failure description, or `None` when the sweep passed.
+    pub failure: Option<String>,
+}
+
+/// Re-runs every baseline sweep and compares. Pure in-memory variant
+/// of the CLI (shared with tests); emits nothing.
+///
+/// # Errors
+///
+/// Propagates sink I/O errors from plan execution (none occur with the
+/// in-memory perf sink in practice).
+pub fn check(baseline: &Baseline, opts: &CheckOptions) -> std::io::Result<Vec<SweepOutcome>> {
+    let scale = ExperimentScale {
+        scale: baseline.scale,
+        ..ExperimentScale::default()
+    };
+    let threads = opts.threads.unwrap_or(baseline.threads).max(1);
+    let mut outcomes = Vec::new();
+    for base in &baseline.sweeps {
+        let Some(plan) = plan_for(&base.name, scale) else {
+            outcomes.push(SweepOutcome {
+                name: base.name.clone(),
+                baseline: base.clone(),
+                fresh: None,
+                failure: Some(format!(
+                    "no canned plan regenerates sweep {:?}; refresh the baseline \
+                     from `mot3d all --bench-json`",
+                    base.name
+                )),
+            });
+            continue;
+        };
+        let mut recorder = Recorder::new(baseline.scale, threads);
+        {
+            let mut perf = PerfSink::new(&mut recorder, base.name.clone());
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut perf];
+            plan.threads(threads).run_with(&mut sinks, |_, _, _| {})?;
+        }
+        let fresh = recorder.sweeps().last().cloned();
+        let failure = fresh.as_ref().and_then(|f| judge(base, f, opts));
+        outcomes.push(SweepOutcome {
+            name: base.name.clone(),
+            baseline: base.clone(),
+            fresh,
+            failure,
+        });
+    }
+    Ok(outcomes)
+}
+
+/// Compares one fresh record against its baseline.
+fn judge(base: &SweepRecord, fresh: &SweepRecord, opts: &CheckOptions) -> Option<String> {
+    if fresh.checksum != base.checksum {
+        return Some(format!(
+            "checksum {} != baseline {} (results changed — refresh the baseline \
+             if intentional)",
+            fresh.checksum, base.checksum
+        ));
+    }
+    if fresh.rows != base.rows {
+        return Some(format!("rows {} != baseline {}", fresh.rows, base.rows));
+    }
+    if !opts.checksum_only {
+        let limit = base.wall_s * (1.0 + opts.max_regress_pct / 100.0);
+        if fresh.wall_s > limit {
+            return Some(format!(
+                "wall {:.3}s exceeds baseline {:.3}s + {:.0}% tolerance",
+                fresh.wall_s, base.wall_s, opts.max_regress_pct
+            ));
+        }
+    }
+    None
+}
+
+fn usage() -> String {
+    "\
+mot3d perf check — compare a fresh run against a committed perf baseline
+
+USAGE: mot3d perf check [--against <path>] [--checksum-only]
+                        [--max-regress <pct>] [--threads <n>]
+
+  --against <path>    baseline document (default BENCH_results.json)
+  --checksum-only     ignore wall-clock; fail only on result changes
+                      (the CI setting — runner timing is noise)
+  --max-regress <pct> allowed wall-clock growth, default 25
+  --threads <n>       worker threads (default: the baseline's count,
+                      so wall times stay comparable)
+
+Re-runs every sweep the baseline names at the baseline's scale. Exits 1
+on any checksum/row mismatch or (unless --checksum-only) wall-clock
+regression; 2 on usage or I/O errors."
+        .to_string()
+}
+
+/// How `perf …` argument parsing can decline to produce options.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PerfUsage {
+    /// Help was requested explicitly (exit 0).
+    Help,
+    /// The arguments were wrong (exit 2).
+    Bad(String),
+}
+
+impl<S: Into<String>> From<S> for PerfUsage {
+    fn from(msg: S) -> Self {
+        PerfUsage::Bad(msg.into())
+    }
+}
+
+/// Parses `perf …` arguments (everything after the `perf` word).
+///
+/// # Errors
+///
+/// [`PerfUsage::Help`] when help was asked for, [`PerfUsage::Bad`] with
+/// a message on unknown subcommands/flags or bad values.
+pub fn parse_args(args: &[String]) -> Result<CheckOptions, PerfUsage> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | Some("help") => return Err(PerfUsage::Help),
+        None => return Err(PerfUsage::Bad(usage())),
+        Some(other) => {
+            return Err(PerfUsage::Bad(format!(
+                "unknown perf subcommand {other:?}\n\n{}",
+                usage()
+            )));
+        }
+    }
+    let mut opts = CheckOptions::default();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checksum-only" => opts.checksum_only = true,
+            "--against" => {
+                opts.against = it.next().ok_or("--against needs a path")?.clone();
+            }
+            "--max-regress" => {
+                let v = it.next().ok_or("--max-regress needs a percentage")?;
+                opts.max_regress_pct = v
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| {
+                        format!("--max-regress needs a non-negative percent, got {v:?}")
+                    })?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a count")?;
+                let t: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&t| t > 0)
+                    .ok_or_else(|| format!("--threads needs a positive integer, got {v:?}"))?;
+                opts.threads = Some(t);
+            }
+            "--help" | "-h" => return Err(PerfUsage::Help),
+            other => {
+                return Err(PerfUsage::Bad(format!(
+                    "unknown option {other:?}\n\n{}",
+                    usage()
+                )));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Entry point for `mot3d perf …`. Returns the process exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(PerfUsage::Help) => {
+            println!("{}", usage());
+            return 0;
+        }
+        Err(PerfUsage::Bad(msg)) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let text = match std::fs::read_to_string(&opts.against) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mot3d perf check: cannot read {}: {e}", opts.against);
+            return 2;
+        }
+    };
+    let baseline = match parse_baseline(&text) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("mot3d perf check: {}: {msg}", opts.against);
+            return 2;
+        }
+    };
+    eprintln!(
+        "perf check: re-running {} sweep{} at scale {} against {} ...",
+        baseline.sweeps.len(),
+        if baseline.sweeps.len() == 1 { "" } else { "s" },
+        baseline.scale,
+        opts.against
+    );
+    let outcomes = match check(&baseline, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mot3d perf check: {e}");
+            return 2;
+        }
+    };
+    let mut failed = 0usize;
+    for o in &outcomes {
+        match (&o.failure, &o.fresh) {
+            (None, Some(f)) => {
+                let wall = if opts.checksum_only {
+                    String::new()
+                } else {
+                    format!(" ({:.3}s vs {:.3}s)", f.wall_s, o.baseline.wall_s)
+                };
+                println!("ok   {}: checksum {}{wall}", o.name, f.checksum);
+            }
+            (Some(why), _) => {
+                failed += 1;
+                println!("FAIL {}: {why}", o.name);
+            }
+            (None, None) => unreachable!("no failure recorded without a fresh run"),
+        }
+    }
+    println!(
+        "perf check: {} of {} sweeps match {}",
+        outcomes.len() - failed,
+        outcomes.len(),
+        opts.against
+    );
+    if failed > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn doc() -> String {
+        let mut rec = Recorder::new(0.004, 2);
+        rec.add_raw("fig6", Duration::from_millis(250), 32, 0xdead_beef);
+        rec.add_raw("open_page@200ns", Duration::from_millis(90), 16, 0x1234);
+        rec.to_json()
+    }
+
+    #[test]
+    fn parses_recorder_documents_round_trip() {
+        let b = parse_baseline(&doc()).unwrap();
+        assert_eq!(b.scale, 0.004);
+        assert_eq!(b.threads, 2);
+        assert_eq!(b.sweeps.len(), 2);
+        assert_eq!(b.sweeps[0].name, "fig6");
+        assert_eq!(b.sweeps[0].rows, 32);
+        assert_eq!(b.sweeps[0].checksum, format!("{:016x}", 0xdead_beefu64));
+        assert_eq!(b.sweeps[1].name, "open_page@200ns");
+        assert!((b.sweeps[0].wall_s - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": 2, \"scale\": 1, \"threads\": 1}").is_err());
+        let empty = "{\"schema\": 1, \"scale\": 1, \"threads\": 1, \"sweeps\": []}";
+        assert!(parse_baseline(empty).is_err());
+    }
+
+    #[test]
+    fn judge_flags_each_failure_mode() {
+        let base = SweepRecord {
+            name: "fig6".into(),
+            wall_s: 1.0,
+            rows: 32,
+            checksum: "aa".into(),
+        };
+        let opts = CheckOptions::default();
+        let ok = SweepRecord {
+            wall_s: 1.2,
+            ..base.clone()
+        };
+        assert_eq!(judge(&base, &ok, &opts), None);
+        let wrong_sum = SweepRecord {
+            checksum: "bb".into(),
+            ..base.clone()
+        };
+        assert!(judge(&base, &wrong_sum, &opts)
+            .unwrap()
+            .contains("checksum"));
+        let wrong_rows = SweepRecord {
+            rows: 8,
+            ..base.clone()
+        };
+        assert!(judge(&base, &wrong_rows, &opts).unwrap().contains("rows"));
+        let slow = SweepRecord {
+            wall_s: 1.3,
+            ..base.clone()
+        };
+        assert!(judge(&base, &slow, &opts).unwrap().contains("wall"));
+        let lenient = CheckOptions {
+            checksum_only: true,
+            ..CheckOptions::default()
+        };
+        assert_eq!(judge(&base, &slow, &lenient), None);
+    }
+
+    #[test]
+    fn canned_names_map_to_plans_and_unknown_names_fail() {
+        let scale = ExperimentScale::tiny();
+        for name in [
+            "fig6",
+            "fig7@200ns",
+            "fig8@63ns",
+            "fig8@42ns",
+            "open_page@200ns",
+        ] {
+            assert!(plan_for(name, scale).is_some(), "{name}");
+        }
+        assert!(plan_for("sweep", scale).is_none());
+    }
+
+    #[test]
+    fn args_parse_all_forms() {
+        let argv = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let o = parse_args(&argv(
+            "check --against b.json --checksum-only --max-regress 10 --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(o.against, "b.json");
+        assert!(o.checksum_only);
+        assert_eq!(o.max_regress_pct, 10.0);
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(parse_args(&argv("check")).unwrap(), CheckOptions::default());
+        assert!(parse_args(&argv("chekc")).is_err());
+        assert!(parse_args(&argv("check --max-regress -3")).is_err());
+        assert!(parse_args(&argv("check --threads 0")).is_err());
+    }
+
+    #[test]
+    fn tiny_check_detects_matches_and_mismatches_end_to_end() {
+        // Record a genuine tiny baseline in memory, then check against
+        // it: everything must match. Corrupt a checksum: must fail.
+        let scale = ExperimentScale::tiny();
+        let mut rec = Recorder::new(scale.scale, 1);
+        {
+            let mut perf = PerfSink::new(&mut rec, "open_page@200ns");
+            let mut sinks: Vec<&mut dyn RecordSink> = vec![&mut perf];
+            plan_for("open_page@200ns", scale)
+                .unwrap()
+                .threads(1)
+                .run_with(&mut sinks, |_, _, _| {})
+                .unwrap();
+        }
+        let baseline = Baseline {
+            scale: scale.scale,
+            threads: 1,
+            sweeps: rec.sweeps().to_vec(),
+        };
+        let opts = CheckOptions {
+            checksum_only: true,
+            ..CheckOptions::default()
+        };
+        let outcomes = check(&baseline, &opts).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].failure, None, "{:?}", outcomes[0]);
+
+        let mut corrupted = baseline;
+        corrupted.sweeps[0].checksum = "0000000000000000".into();
+        let outcomes = check(&corrupted, &opts).unwrap();
+        assert!(outcomes[0].failure.as_ref().unwrap().contains("checksum"));
+    }
+}

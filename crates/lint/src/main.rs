@@ -1,0 +1,8 @@
+//! The `mot3d-lint` binary: scan the workspace, report findings, gate
+//! CI with `--deny`. All logic lives in the library (shared with the
+//! `mot3d lint` subcommand).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mot3d_lint::run_cli(&args));
+}

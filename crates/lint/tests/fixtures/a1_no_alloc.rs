@@ -1,0 +1,29 @@
+//@ path: crates/phys/src/fixture.rs
+//! Seeded A1 violations: allocation inside declared no-alloc regions.
+
+// mot3d-lint: no-alloc
+fn hot(buf: &mut [u64], n: u64) {
+    buf[0] = n;
+    let spill = Vec::new(); //~ A1
+    let boxed = Box::new(n); //~ A1
+    let label = format!("bank{n}"); //~ A1
+    let owned = String::from("x"); //~ A1
+}
+
+// mot3d-lint: no-alloc
+fn also_hot(n: usize) -> usize {
+    let v = vec![0u8; n]; //~ A1
+    let squares: Vec<usize> = (0..n).map(|i| i * i).collect(); //~ A1
+    v.len() + squares.len()
+}
+
+// Amortized growth into caller-owned storage is tolerated by design.
+// mot3d-lint: no-alloc
+fn push_is_amortized(buf: &mut Vec<u64>, v: u64) {
+    buf.push(v);
+}
+
+// Outside any marked region, construction-time allocation is fine.
+fn cold(n: usize) -> Vec<u8> {
+    vec![0; n]
+}

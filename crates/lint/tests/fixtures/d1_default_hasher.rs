@@ -1,0 +1,25 @@
+//@ path: crates/sim/src/fixture.rs
+//@ suppressed: 1
+//! Seeded D1 violations: default-hasher collections in a result crate.
+
+use std::collections::HashMap; //~ D1
+use std::collections::HashSet; //~ D1
+
+fn build() -> HashMap<u64, u64> { //~ D1
+    let mut m = HashMap::new(); //~ D1
+    m.insert(1, 2);
+    m
+}
+
+// Mentions inside comments are invisible to the scanner: HashMap.
+fn doc() -> &'static str {
+    "HashSet::new() inside a string is invisible too"
+}
+
+// The sanctioned alias never names the std types, so it passes clean.
+fn deterministic() -> mot3d_phys::fnv::FnvHashMap<u64, u64> {
+    mot3d_phys::fnv::FnvHashMap::default()
+}
+
+// mot3d-lint: allow(D1) -- fixture: documented escape hatch
+type Legacy = HashSet<u8>;

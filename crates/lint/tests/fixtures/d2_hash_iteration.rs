@@ -1,0 +1,38 @@
+//@ path: crates/bench/src/report.rs
+//@ suppressed: 1
+//! Seeded D2 violations: hash-order iteration on a report path.
+
+fn render(port_map: &M) {
+    for k in port_map.keys() { //~ D2
+        sink(k);
+    }
+    for v in self.lat_map.values() { //~ D2
+        sink(v);
+    }
+    for e in route_hash.iter() { //~ D2
+        sink(e);
+    }
+}
+
+// Non-hash receivers iterate in their own (deterministic) order.
+fn rows_are_fine(rows: &[Row]) {
+    for r in rows.iter() {
+        sink(r);
+    }
+}
+
+fn sorted_render(id_map: &M) {
+    // mot3d-lint: allow(D2) -- fixture: keys are sorted immediately after
+    let mut keys: Vec<u64> = id_map.keys().copied().collect();
+    keys.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_iterate_hash_order() {
+        for k in fixture_map.keys() {
+            sink(k);
+        }
+    }
+}

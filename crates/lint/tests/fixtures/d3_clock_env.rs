@@ -1,0 +1,23 @@
+//@ path: crates/noc/src/fixture.rs
+//! Seeded D3 violations: wall-clock and environment reads in a
+//! result-affecting crate.
+
+fn timed() {
+    let t0 = Instant::now(); //~ D3
+    let epoch = SystemTime::now(); //~ D3
+    let scale = std::env::var("MOT3D_SCALE"); //~ D3
+    let home = std::env::var_os("HOME"); //~ D3
+}
+
+// `env::args` reads argv, not the environment: clean.
+fn argv_is_fine() {
+    let _args = std::env::args();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_allowed_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,38 @@
+//@ path: crates/mot/src/fixture.rs
+//@ suppressed: 1
+//! Seeded P1 violations: panicking calls in library code.
+
+fn take(x: Option<u8>) -> u8 {
+    x.unwrap() //~ P1
+}
+
+fn named(x: Option<u8>) -> u8 {
+    x.expect("always set") //~ P1
+}
+
+fn explode() {
+    panic!("boom"); //~ P1
+}
+
+// Non-panicking cousins never match.
+fn tolerant(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+
+// Debug-only assertions may use panicking helpers.
+fn guarded(m: u64) {
+    debug_assert!(m.checked_mul(2).unwrap() > 0);
+}
+
+fn vetted(x: Option<u8>) -> u8 {
+    // mot3d-lint: allow(P1) -- fixture: caller guarantees Some
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::take(Some(3)).checked_add(1).unwrap(), 4);
+    }
+}

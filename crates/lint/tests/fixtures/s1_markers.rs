@@ -1,0 +1,27 @@
+//@ path: crates/mem/src/fixture.rs
+//! Seeded S1 violations: markers that fail to parse or take effect.
+//! A malformed directive must never silently suppress — the finding it
+//! meant to cover survives alongside the S1.
+
+// mot3d-lint: allow(P1)
+//^ S1
+fn missing_reason(x: Option<u8>) -> u8 {
+    x.unwrap() //~ P1
+}
+
+// mot3d-lint: allow(Z9) -- no such rule id
+//^ S1
+fn unknown_rule() {}
+
+// mot3d-lint: allow(S1) -- the checker cannot be silenced about itself
+//^ S1
+fn sneaky() {}
+
+// mot3d-lint: no-allok
+//^ S1
+fn typo() {}
+
+// A `no-alloc` marker with no following fn/impl/mod item is inert.
+// mot3d-lint: no-alloc
+//^ S1
+const ORPHAN: u8 = 1;

@@ -286,6 +286,7 @@ impl<P: Default + Clone> SetAssocCache<P> {
     }
 
     /// Reads a line: on hit, touches LRU state and returns the data token.
+    // mot3d-lint: no-alloc
     pub fn read(&mut self, line: LineAddr) -> Option<u64> {
         let set = self.set_index(line);
         match self.find_slot(set, line) {
@@ -304,6 +305,7 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// Writes a line in place: on hit, stores the token, sets dirty, and
     /// returns `true`. On miss returns `false` (write-allocate is the
     /// caller's job via [`SetAssocCache::fill`]).
+    // mot3d-lint: no-alloc
     pub fn write(&mut self, line: LineAddr, data: u64) -> bool {
         let set = self.set_index(line);
         match self.find_slot(set, line) {
@@ -326,6 +328,7 @@ impl<P: Default + Clone> SetAssocCache<P> {
     ///
     /// If the line is already present it is overwritten in place (no
     /// eviction).
+    // mot3d-lint: no-alloc
     pub fn fill(&mut self, line: LineAddr, data: u64, dirty: bool) -> Option<EvictedLine<P>> {
         let set = self.set_index(line);
         self.stats.fills += 1;
@@ -359,6 +362,7 @@ impl<P: Default + Clone> SetAssocCache<P> {
     }
 
     /// Looks at a line without touching replacement state or counters.
+    // mot3d-lint: no-alloc
     pub fn peek(&self, line: LineAddr) -> Option<(u64, bool)> {
         let set = self.set_index(line);
         self.find_slot(set, line)

@@ -151,6 +151,7 @@ fn index_of_min(values: &[u64]) -> usize {
         .enumerate()
         .min_by_key(|(_, v)| **v)
         .map(|(i, _)| i)
+        // mot3d-lint: allow(P1) -- CacheConfig rejects zero associativity, so the slice is non-empty
         .expect("sets have at least one way")
 }
 

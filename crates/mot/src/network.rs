@@ -166,6 +166,7 @@ impl Interconnect for MotNetwork {
         "3-D MoT"
     }
 
+    // mot3d-lint: no-alloc
     fn tick(&mut self, now: u64) {
         if let Some(last) = self.last_tick {
             debug_assert!(now >= last, "tick must not go backwards");
@@ -178,6 +179,7 @@ impl Interconnect for MotNetwork {
             if front.arrives_at > now {
                 break;
             }
+            // mot3d-lint: allow(P1) -- front() returned Some on this very queue
             let f = self.transit_req.pop_front().expect("checked non-empty");
             self.waiting.push_back(f.bank * cores + f.request.core, f);
             self.wait_mask[f.bank] |= 1 << f.request.core;
@@ -196,6 +198,7 @@ impl Interconnect for MotNetwork {
                     let f = self
                         .waiting
                         .pop_front(bank * cores + core)
+                        // mot3d-lint: allow(P1) -- wait_mask bit set ⇒ queue non-empty (tick keeps them in lockstep)
                         .expect("granted core has a waiting request");
                     if self.waiting.is_empty(bank * cores + core) {
                         self.wait_mask[bank] &= !(1 << core);
@@ -217,6 +220,7 @@ impl Interconnect for MotNetwork {
             if *at > now {
                 break;
             }
+            // mot3d-lint: allow(P1) -- front() returned Some on this very queue
             let (at, response) = self.transit_resp.pop_front().expect("checked non-empty");
             self.stats.responses += 1;
             self.deliveries.push_back(CoreDelivery {

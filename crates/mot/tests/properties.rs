@@ -172,7 +172,7 @@ proptest! {
             });
             injected += 1;
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = mot3d_phys::fnv::FnvHashSet::default();
         for now in 0..(lat + injected + 8) {
             net.tick(now);
             while let Some(a) = net.pop_arrival() {

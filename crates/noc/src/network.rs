@@ -277,6 +277,7 @@ impl Interconnect for NocNetwork {
             if ev.time > now {
                 break;
             }
+            // mot3d-lint: allow(P1) -- peek() returned Some on this very heap
             let Reverse(ev) = self.events.pop().expect("peeked event exists");
             self.handle(ev);
         }
@@ -311,6 +312,7 @@ impl Interconnect for NocNetwork {
                 let router = self
                     .topo
                     .bank_router(response.bank)
+                    // mot3d-lint: allow(P1) -- Mesh3d arm: bank_router is Some for every bank there
                     .expect("mesh banks have routers");
                 self.push(now + 1, Loc::AtRouter(router), packet);
             }
@@ -319,6 +321,7 @@ impl Interconnect for NocNetwork {
                 let bus = self
                     .topo
                     .bank_bus(response.bank)
+                    // mot3d-lint: allow(P1) -- non-mesh arm: bank_bus is Some for every bank there
                     .expect("bus topologies attach banks to buses");
                 let flits = packet.flits();
                 let done = self.board_bus(bus, now, flits);

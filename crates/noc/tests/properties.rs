@@ -3,8 +3,8 @@
 use mot3d_mot::traits::{Interconnect, MemRequest, MemResponse, ReqKind};
 use mot3d_noc::topo::{Hop, Topology, BANKS, CORES};
 use mot3d_noc::{NocNetwork, NocTopologyKind};
+use mot3d_phys::fnv::FnvHashSet;
 use proptest::prelude::*;
-use std::collections::HashSet;
 
 fn kind_strategy() -> impl Strategy<Value = NocTopologyKind> {
     prop_oneof![
@@ -41,7 +41,7 @@ proptest! {
     ) {
         let topo = Topology::new(kind);
         let trail = walk_request(&topo, core, bank);
-        let unique: HashSet<_> = trail.iter().collect();
+        let unique: FnvHashSet<_> = trail.iter().collect();
         prop_assert_eq!(unique.len(), trail.len(), "router revisited: {:?}", trail);
         let end = match kind {
             NocTopologyKind::Mesh3d => topo.bank_router(bank).unwrap(),
@@ -99,8 +99,8 @@ proptest! {
                 tag: i as u64,
             });
         }
-        let mut arrived = HashSet::new();
-        let mut returned = HashSet::new();
+        let mut arrived = FnvHashSet::default();
+        let mut returned = FnvHashSet::default();
         for now in 0..20_000u64 {
             net.tick(now);
             while let Some(a) = net.pop_arrival() {

@@ -18,7 +18,10 @@
 //!   and the energy-delay-product bookkeeping of Figs. 7–8;
 //! * [`slab`] — allocation-free hot-path containers (multi-queue
 //!   [`slab::FifoSlab`], generational-handle [`slab::GenSlab`]) shared by
-//!   the simulator crates above this one.
+//!   the simulator crates above this one;
+//! * [`fnv`] — deterministic FNV-1a hashing ([`fnv::FnvHashMap`],
+//!   [`fnv::FnvHashSet`]): the sanctioned hash collections for
+//!   result-affecting crates (`mot3d-lint` rule D1).
 //!
 //! # Quick example
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod fnv;
 pub mod geometry;
 pub mod power;
 pub mod rc;

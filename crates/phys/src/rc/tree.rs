@@ -184,6 +184,7 @@ impl RcTree {
         // Children always have larger indices than parents, so a single
         // forward pass sees every parent before its children.
         for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            // mot3d-lint: allow(P1) -- skip(1) never visits the root, and only the root has no parent
             let parent = node.parent.expect("non-root node has a parent");
             delays[i] = delays[parent.0] + node.resistance * downstream[i];
         }
@@ -194,6 +195,7 @@ impl RcTree {
     fn downstream_caps(&self) -> Vec<Farads> {
         let mut caps: Vec<Farads> = self.nodes.iter().map(|n| n.capacitance).collect();
         for i in (1..self.nodes.len()).rev() {
+            // mot3d-lint: allow(P1) -- the (1..).rev() range never visits the root
             let parent = self.nodes[i].parent.expect("non-root node has a parent");
             let c = caps[i];
             caps[parent.0] += c;

@@ -402,27 +402,29 @@ impl Cluster {
         let cores: Vec<CoreState> = physical_cores
             .into_iter()
             .zip(streams)
-            .map(|(physical, stream)| CoreState {
-                physical,
-                stream,
-                l1: SetAssocCache::new(CacheConfig::l1_date16())
-                    .expect("Table I L1 geometry is valid"),
-                busy_cycles: 0,
-                retired: 0,
-                finished_at: None,
+            .map(|(physical, stream)| {
+                Ok(CoreState {
+                    physical,
+                    stream,
+                    l1: SetAssocCache::new(CacheConfig::l1_date16())?,
+                    busy_cycles: 0,
+                    retired: 0,
+                    finished_at: None,
+                })
             })
-            .collect();
+            .collect::<Result<_, SimError>>()?;
 
         let banks = (0..TOTAL_BANKS)
-            .map(|b| BankState {
-                cache: SetAssocCache::new(CacheConfig::l2_bank_date16())
-                    .expect("Table I L2 geometry is valid"),
-                powered: mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b)),
-                free_at: 0,
-                reads: 0,
-                writes: 0,
+            .map(|b| {
+                Ok(BankState {
+                    cache: SetAssocCache::new(CacheConfig::l2_bank_date16())?,
+                    powered: mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b)),
+                    free_at: 0,
+                    reads: 0,
+                    writes: 0,
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, SimError>>()?;
 
         let dram_timing = if config.dram_open_page {
             DramTiming::open_page(config.dram.latency_cycles())
@@ -436,8 +438,7 @@ impl Cluster {
             mot3d_mem::dram::DramKind::Weis3d => DramEnergyModel::weis_3d(),
         };
 
-        let l2_model = SramBank::model(&tech, SramConfig::l2_bank_date16())
-            .expect("Table I L2 geometry is valid");
+        let l2_model = SramBank::model(&tech, SramConfig::l2_bank_date16())?;
 
         let statuses = vec![CoreStatus::Ready; cores.len()];
         let all_cores_mask = u32::MAX >> (32 - cores.len() as u32);
@@ -476,8 +477,7 @@ impl Cluster {
             invalidations: 0,
             recalls: 0,
             l2_latency: LatencyStats::default(),
-            l1_model: SramBank::model(&tech, SramConfig::l1_date16())
-                .expect("Table I L1 geometry is valid"),
+            l1_model: SramBank::model(&tech, SramConfig::l1_date16())?,
             l2_model,
             core_power: CorePowerModel::cortex_a5_like(),
             dram_power: DramEnergyModel::off_chip_ddr3(),
@@ -641,7 +641,9 @@ impl Cluster {
 
     /// Services a request at its bank. Mutates architectural state now;
     /// schedules the response at the right time.
+    // mot3d-lint: no-alloc
     fn service_bank(&mut self, bank_idx: usize, tag: u64, at_cycle: u64) {
+        // mot3d-lint: allow(P1) -- a scheduled arrival's tx is removed only at delivery, later
         let tx = *self.txs.get(tag).expect("arrival has a transaction");
         assert!(
             self.banks[bank_idx].powered,
@@ -695,7 +697,9 @@ impl Cluster {
     /// path and the post-refill path (a concurrent miss to the same line
     /// may find it already filled and owned — the blocking-cache
     /// equivalent of an MSHR merge).
+    // mot3d-lint: no-alloc
     fn access_resident_line(&mut self, bank_idx: usize, tag: u64) -> u64 {
+        // mot3d-lint: allow(P1) -- callers hold a live tag (removed only at delivery)
         let tx = *self.txs.get(tag).expect("transaction exists");
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
@@ -724,6 +728,7 @@ impl Cluster {
                 let dir = self.banks[bank_idx]
                     .cache
                     .payload_mut(tx.line)
+                    // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
                     .expect("resident line has directory");
                 dir.owner_writeback(!is_store);
             }
@@ -735,6 +740,7 @@ impl Cluster {
             self.banks[bank_idx]
                 .cache
                 .payload_mut(tx.line)
+                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
                 .expect("resident line has directory")
                 .grant_exclusive_into(physical, &mut victims);
             if !victims.is_empty() {
@@ -755,11 +761,13 @@ impl Cluster {
             let dir = self.banks[bank_idx]
                 .cache
                 .payload_mut(tx.line)
+                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
                 .expect("resident line has directory");
             dir.add_sharer(physical);
             let value = self.banks[bank_idx]
                 .cache
                 .read(tx.line)
+                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
                 .expect("resident line reads");
             // The load is architecturally ordered *here*; the golden
             // comparison must use this point, not the delivery time (a
@@ -773,6 +781,7 @@ impl Cluster {
                     self.now
                 );
             }
+            // mot3d-lint: allow(P1) -- same live tag the function was entered with
             self.txs.get_mut(tag).expect("tx exists").value = value;
             self.banks[bank_idx].reads += 1;
         }
@@ -780,7 +789,9 @@ impl Cluster {
     }
 
     /// DRAM refill arrives at the bank: fill, handle the victim, respond.
+    // mot3d-lint: no-alloc
     fn refill_bank(&mut self, bank_idx: usize, tag: u64) {
+        // mot3d-lint: allow(P1) -- a scheduled refill's tx is removed only at delivery, later
         let tx = *self.txs.get(tag).expect("refill has a transaction");
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
@@ -840,7 +851,9 @@ impl Cluster {
     }
 
     /// A response arrived back at its core: complete the instruction.
+    // mot3d-lint: no-alloc
     fn complete_delivery(&mut self, tag: u64, at_cycle: u64) {
+        // mot3d-lint: allow(P1) -- each tag is delivered exactly once; this is its removal point
         let tx = self.txs.remove(tag).expect("delivery has a transaction");
         self.l2_latency
             .record(at_cycle.saturating_sub(tx.issued_at));
@@ -880,6 +893,7 @@ impl Cluster {
     }
 
     /// One core issue step.
+    // mot3d-lint: no-alloc
     fn step_core(&mut self, idx: usize) {
         match self.statuses[idx] {
             CoreStatus::Computing { until } if self.now >= until => {
@@ -1006,6 +1020,7 @@ impl Cluster {
     }
 
     /// Advances the cluster by one cycle.
+    // mot3d-lint: no-alloc
     pub fn step(&mut self) {
         let now = self.now;
         self.interconnect.tick(now);
@@ -1015,6 +1030,7 @@ impl Cluster {
             if s.at > now {
                 break;
             }
+            // mot3d-lint: allow(P1) -- peek() returned Some on this very heap
             let Reverse(s) = self.events.pop().expect("peeked");
             match s.action {
                 Action::BusEnqueue { bank, tag } => {
@@ -1058,6 +1074,7 @@ impl Cluster {
                 if t.tag == WB_TAG {
                     // Victim writeback reached DRAM; already applied.
                 } else {
+                    // mot3d-lint: allow(P1) -- a queued transfer's tx is removed only at delivery, later
                     let tx = self.txs.get(t.tag).expect("bus transfer has tx");
                     let done = self.dram.access(now, tx.line, false);
                     self.dram_accesses += 1;
@@ -1119,6 +1136,7 @@ impl Cluster {
     /// grants, and the interconnect neither lands a transit nor arbitrates
     /// (its grant logic does not mutate round-robin state when no request
     /// is asserted, so skipping preserves grant order bit-for-bit).
+    // mot3d-lint: no-alloc
     fn next_wake(&self) -> Option<u64> {
         let mut wake: Option<u64> = None;
         let merge = |w: &mut Option<u64>, t: u64| *w = Some(w.map_or(t, |x| x.min(t)));
@@ -1163,6 +1181,7 @@ impl Cluster {
     /// `limit`) and steps once. With no upcoming wake-up, jumps straight
     /// to `limit` so the caller's cycle-limit check fires — exactly where
     /// per-cycle stepping would have idled its way to.
+    // mot3d-lint: no-alloc
     fn advance(&mut self, limit: u64) {
         match self.next_wake() {
             Some(wake) => {
@@ -1396,6 +1415,7 @@ impl Cluster {
                 let ev = self.banks[bank_idx]
                     .cache
                     .invalidate(line)
+                    // mot3d-lint: allow(P1) -- `line` came from this cache's own resident_lines()
                     .expect("line is resident");
                 for h in ev.payload.sharers() {
                     self.invalidate_l1(h, line);

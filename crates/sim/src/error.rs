@@ -1,8 +1,10 @@
 //! Simulator error type.
 
+use mot3d_mem::cache::CacheConfigError;
 use mot3d_mot::power_state::PowerStateError;
 use mot3d_mot::MotError;
 use mot3d_noc::NocTopologyKind;
+use mot3d_phys::sram::SramConfigError;
 use std::error::Error;
 use std::fmt;
 
@@ -13,6 +15,10 @@ pub enum SimError {
     Mot(MotError),
     /// The power state is invalid for the cluster.
     PowerState(PowerStateError),
+    /// A cache geometry in the cluster configuration is inconsistent.
+    CacheConfig(CacheConfigError),
+    /// An SRAM geometry in the cluster configuration is inconsistent.
+    SramConfig(SramConfigError),
     /// Packet-switched baselines are not reconfigurable: they only run
     /// the full connection (the paper evaluates them there, Fig. 6).
     NocNeedsFullState(NocTopologyKind),
@@ -43,6 +49,8 @@ impl fmt::Display for SimError {
         match self {
             SimError::Mot(e) => write!(f, "interconnect: {e}"),
             SimError::PowerState(e) => write!(f, "power state: {e}"),
+            SimError::CacheConfig(e) => write!(f, "cache geometry: {e}"),
+            SimError::SramConfig(e) => write!(f, "sram geometry: {e}"),
             SimError::NocNeedsFullState(kind) => write!(
                 f,
                 "{kind} is not reconfigurable; it only runs Full connection"
@@ -74,6 +82,8 @@ impl Error for SimError {
         match self {
             SimError::Mot(e) => Some(e),
             SimError::PowerState(e) => Some(e),
+            SimError::CacheConfig(e) => Some(e),
+            SimError::SramConfig(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +98,18 @@ impl From<MotError> for SimError {
 impl From<PowerStateError> for SimError {
     fn from(e: PowerStateError) -> Self {
         SimError::PowerState(e)
+    }
+}
+
+impl From<CacheConfigError> for SimError {
+    fn from(e: CacheConfigError) -> Self {
+        SimError::CacheConfig(e)
+    }
+}
+
+impl From<SramConfigError> for SimError {
+    fn from(e: SramConfigError) -> Self {
+        SimError::SramConfig(e)
     }
 }
 

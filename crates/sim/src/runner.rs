@@ -13,9 +13,10 @@ use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use mot3d_phys::fnv::FnvHashMap;
 use mot3d_workloads::{streams, SplashBenchmark, WorkloadSource, WorkloadSpec};
 use std::cell::RefCell;
-use std::collections::{hash_map::Entry, HashMap};
+use std::collections::hash_map::Entry;
 
 /// A cache of reusable clusters, keyed by configuration.
 ///
@@ -51,7 +52,7 @@ use std::collections::{hash_map::Entry, HashMap};
 /// ```
 #[derive(Debug, Default)]
 pub struct ClusterPool {
-    clusters: HashMap<SimConfig, Cluster>,
+    clusters: FnvHashMap<SimConfig, Cluster>,
 }
 
 impl ClusterPool {
@@ -77,11 +78,11 @@ impl ClusterPool {
 
     /// Drops cached clusters until at most `n` configurations remain.
     ///
-    /// Which clusters survive is unspecified (the cache is a
-    /// `HashMap`); correctness never depends on it — a dropped
-    /// configuration is simply rebuilt on its next run, bit-identically.
-    /// Call this between the phases of a long ad-hoc sweep so the pool
-    /// does not hold every configuration it has ever seen alive (see the
+    /// Which clusters survive is unspecified (the cache is a hash map);
+    /// correctness never depends on it — a dropped configuration is
+    /// simply rebuilt on its next run, bit-identically. Call this
+    /// between the phases of a long ad-hoc sweep so the pool does not
+    /// hold every configuration it has ever seen alive (see the
     /// type-level docs).
     pub fn shrink_to(&mut self, n: usize) {
         if n == 0 {
@@ -89,7 +90,9 @@ impl ClusterPool {
             return;
         }
         while self.clusters.len() > n {
-            let key = *self.clusters.keys().next().expect("len > n ≥ 1");
+            let Some(&key) = self.clusters.keys().next() else {
+                return;
+            };
             self.clusters.remove(&key);
         }
     }

@@ -451,7 +451,7 @@ mod tests {
     #[test]
     fn private_regions_do_not_collide() {
         let spec = small(SplashBenchmark::WaterNsquared);
-        let collect = |rank| -> std::collections::HashSet<u64> {
+        let collect = |rank| -> mot3d_phys::fnv::FnvHashSet<u64> {
             CoreStream::new(&spec, 4, rank, 5)
                 .filter_map(|op| match op {
                     StreamOp::Op(Op::Load(a) | Op::Store(a)) => Some(a / LINE),
