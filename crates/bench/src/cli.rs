@@ -13,18 +13,18 @@
 //! environment variables keep working as **deprecated fallbacks** for
 //! `--scale` / `--threads` / `--bench-json`.
 
+use crate::axes;
 use crate::experiments::{self, ExperimentScale};
 use crate::perf::Recorder;
 use crate::plan::{ExperimentPlan, RunRecord};
 use crate::pool;
 use crate::report;
-use crate::sink::{CsvSink, JsonLinesSink, PerfSink, RecordSink, TableSink};
+use crate::sink::{AtomicFile, CsvSink, JsonLinesSink, PerfSink, RecordSink, TableSink};
 use mot3d_mem::dram::DramKind;
 use mot3d_mot::PowerState;
-use mot3d_noc::NocTopologyKind;
 use mot3d_sim::InterconnectChoice;
 use mot3d_workloads::SplashBenchmark;
-use std::io::{self, BufWriter};
+use std::io;
 
 /// Entry point for the `mot3d` binary: parses `args` (without the
 /// program name), executes the subcommand, and returns the process
@@ -117,6 +117,8 @@ COMMANDS:
   ablation   sensitivity studies beyond the paper's figures
   all        everything above, EXPERIMENTS.md-ready
   sweep      ad-hoc declarative grid over any combination of axes
+  serve      long-running sweep service with a persistent result cache
+  submit     send a sweep to a running server (see `mot3d serve --help`)
   lint       run the mot3d-lint static-analysis pass (see `lint --help`)
   perf       `perf check` — compare a fresh run against BENCH_results.json
   help       print this message
@@ -196,15 +198,15 @@ fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
             "--json" => opts.json = Some(value.clone()),
             "--csv" => opts.csv = Some(value.clone()),
             "--bench-json" => opts.bench_json = Some(value.clone()),
-            "--bench" => opts.benches = Some(parse_benches(value).map_err(bad)?),
+            "--bench" => opts.benches = Some(axes::parse_benches(value).map_err(bad)?),
             "--interconnect" => {
-                opts.interconnects = Some(parse_interconnects(value).map_err(bad)?);
+                opts.interconnects = Some(axes::parse_interconnects(value).map_err(bad)?);
             }
             "--power-state" => {
-                opts.power_states = Some(parse_power_states(value).map_err(bad)?);
+                opts.power_states = Some(axes::parse_power_states(value).map_err(bad)?);
             }
-            "--dram" => opts.drams = Some(parse_drams(value).map_err(bad)?),
-            "--page" => opts.pages = Some(parse_pages(value).map_err(bad)?),
+            "--dram" => opts.drams = Some(axes::parse_drams(value).map_err(bad)?),
+            "--page" => opts.pages = Some(axes::parse_pages(value).map_err(bad)?),
             "--repeat" => {
                 let r: u32 = value.parse().ok().filter(|&r| r > 0).ok_or_else(|| {
                     bad(format!("--repeat needs a positive integer, got {value:?}"))
@@ -234,97 +236,6 @@ fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
     Ok((cmd, opts))
 }
 
-// ------------------------------------------------------- axis parsers
-
-fn split_list(raw: &str) -> impl Iterator<Item = &str> {
-    raw.split(',').map(str::trim).filter(|s| !s.is_empty())
-}
-
-fn parse_benches(raw: &str) -> Result<Vec<SplashBenchmark>, String> {
-    if raw.trim().eq_ignore_ascii_case("all") {
-        return Ok(SplashBenchmark::all().to_vec());
-    }
-    split_list(raw)
-        .map(|name| {
-            SplashBenchmark::all()
-                .into_iter()
-                .find(|b| b.name().eq_ignore_ascii_case(name))
-                .ok_or_else(|| format!("unknown benchmark {name:?} (try --bench all)"))
-        })
-        .collect()
-}
-
-fn parse_interconnects(raw: &str) -> Result<Vec<InterconnectChoice>, String> {
-    if raw.trim().eq_ignore_ascii_case("all") {
-        return Ok(experiments::fig6_interconnects().to_vec());
-    }
-    split_list(raw)
-        .map(|name| match name.to_ascii_lowercase().as_str() {
-            "mot" | "mot3d" | "3d-mot" => Ok(InterconnectChoice::Mot),
-            "mesh" | "mesh3d" | "3d-mesh" => Ok(InterconnectChoice::Noc(NocTopologyKind::Mesh3d)),
-            "bus-mesh" | "busmesh" => Ok(InterconnectChoice::Noc(NocTopologyKind::HybridBusMesh)),
-            "bus-tree" | "bustree" => Ok(InterconnectChoice::Noc(NocTopologyKind::HybridBusTree)),
-            _ => Err(format!(
-                "unknown interconnect {name:?} (mot3d, mesh, bus-mesh, bus-tree)"
-            )),
-        })
-        .collect()
-}
-
-fn parse_power_states(raw: &str) -> Result<Vec<PowerState>, String> {
-    if raw.trim().eq_ignore_ascii_case("all") {
-        return Ok(PowerState::date16_states().to_vec());
-    }
-    split_list(raw)
-        .map(|name| {
-            let lower = name.to_ascii_lowercase();
-            if lower == "full" {
-                return Ok(PowerState::full());
-            }
-            let parts = lower
-                .strip_prefix("pc")
-                .and_then(|rest| rest.split_once("-mb"));
-            let (cores, banks) = parts.ok_or_else(|| {
-                format!("unknown power state {name:?} (full or pcX-mbY, e.g. pc4-mb8)")
-            })?;
-            let cores: usize = cores
-                .parse()
-                .map_err(|_| format!("bad core count in power state {name:?}"))?;
-            let banks: usize = banks
-                .parse()
-                .map_err(|_| format!("bad bank count in power state {name:?}"))?;
-            PowerState::new(cores, banks).map_err(|e| format!("power state {name:?}: {e}"))
-        })
-        .collect()
-}
-
-fn parse_drams(raw: &str) -> Result<Vec<DramKind>, String> {
-    if raw.trim().eq_ignore_ascii_case("all") {
-        return Ok(vec![
-            DramKind::OffChipDdr3,
-            DramKind::WideIo,
-            DramKind::Weis3d,
-        ]);
-    }
-    split_list(raw)
-        .map(|name| match name.to_ascii_lowercase().as_str() {
-            "200ns" | "ddr3" | "off-chip" => Ok(DramKind::OffChipDdr3),
-            "63ns" | "wide-io" | "wideio" => Ok(DramKind::WideIo),
-            "42ns" | "weis" | "weis3d" => Ok(DramKind::Weis3d),
-            _ => Err(format!("unknown DRAM option {name:?} (200ns, 63ns, 42ns)")),
-        })
-        .collect()
-}
-
-fn parse_pages(raw: &str) -> Result<Vec<bool>, String> {
-    match raw.trim().to_ascii_lowercase().as_str() {
-        "flat" => Ok(vec![false]),
-        "open" | "open-page" => Ok(vec![true]),
-        "both" | "all" => Ok(vec![false, true]),
-        other => Err(format!("unknown page policy {other:?} (flat, open, both)")),
-    }
-}
-
 // --------------------------------------------------------- execution
 
 /// The DRAM label strings the legacy renderers used.
@@ -345,7 +256,8 @@ struct Ctx {
     threads: Option<usize>,
     banner_threads: usize,
     recorder: Recorder,
-    file_sinks: Vec<Box<dyn RecordSink>>,
+    json_sink: Option<JsonLinesSink<AtomicFile>>,
+    csv_sink: Option<CsvSink<AtomicFile>>,
     json: Option<String>,
     csv: Option<String>,
     bench_json: Option<String>,
@@ -392,22 +304,22 @@ impl Ctx {
         }
         .min(max_jobs(cmd))
         .max(1);
-        let mut file_sinks: Vec<Box<dyn RecordSink>> = Vec::new();
-        if let Some(path) = &opts.json {
-            let file = std::fs::File::create(path)?;
-            file_sinks.push(Box::new(JsonLinesSink::new(BufWriter::new(file))));
-        }
-        if let Some(path) = &opts.csv {
-            let file = std::fs::File::create(path)?;
-            file_sinks.push(Box::new(CsvSink::new(BufWriter::new(file))));
-        }
+        let json_sink = match &opts.json {
+            Some(path) => Some(JsonLinesSink::create(path)?),
+            None => None,
+        };
+        let csv_sink = match &opts.csv {
+            Some(path) => Some(CsvSink::create(path)?),
+            None => None,
+        };
         Ok(Ctx {
             scale,
             seed_overridden: opts.seed.is_some(),
             threads: opts.threads,
             banner_threads,
             recorder: Recorder::new(scale.scale, banner_threads),
-            file_sinks,
+            json_sink,
+            csv_sink,
             json: opts.json.clone(),
             csv: opts.csv.clone(),
             bench_json: opts.bench_json.clone(),
@@ -439,11 +351,13 @@ impl Ctx {
             None => plan,
         };
         let mut perf = perf_name.map(|name| PerfSink::new(&mut self.recorder, name));
-        let mut sinks: Vec<&mut dyn RecordSink> = self
-            .file_sinks
-            .iter_mut()
-            .map(|s| &mut **s as &mut dyn RecordSink)
-            .collect();
+        let mut sinks: Vec<&mut dyn RecordSink> = Vec::new();
+        if let Some(json) = self.json_sink.as_mut() {
+            sinks.push(json);
+        }
+        if let Some(csv) = self.csv_sink.as_mut() {
+            sinks.push(csv);
+        }
         if let Some(perf) = perf.as_mut() {
             sinks.push(perf);
         }
@@ -457,9 +371,18 @@ impl Ctx {
         }
     }
 
-    /// Writes the perf-trajectory document (`--bench-json`, or the
-    /// deprecated `MOT3D_BENCH_JSON`) and notes the record files.
-    fn finish(&self) -> io::Result<()> {
+    /// Persists the record files (atomic rename into their final
+    /// names), writes the perf-trajectory document (`--bench-json`, or
+    /// the deprecated `MOT3D_BENCH_JSON`), and notes the paths. The
+    /// sinks span every plan of the invocation (`mot3d all` runs
+    /// several), so this runs once at the very end.
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(sink) = self.json_sink.take() {
+            sink.persist()?;
+        }
+        if let Some(sink) = self.csv_sink.take() {
+            sink.persist()?;
+        }
         if !self.recorder.sweeps().is_empty() {
             if let Some(path) = &self.bench_json {
                 std::fs::write(path, self.recorder.to_json())?;
@@ -747,6 +670,7 @@ fn sweep(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mot3d_noc::NocTopologyKind;
 
     fn argv(s: &str) -> Vec<String> {
         s.split_whitespace().map(String::from).collect()
@@ -860,23 +784,10 @@ mod tests {
 
     #[test]
     fn power_state_parser_accepts_generic_grid_points() {
-        let states = parse_power_states("full,pc8-mb16,PC4-MB8").unwrap();
+        let states = axes::parse_power_states("full,pc8-mb16,PC4-MB8").unwrap();
         assert_eq!(states[0], PowerState::full());
         assert_eq!(states[1], PowerState::new(8, 16).unwrap());
         assert_eq!(states[2], PowerState::pc4_mb8());
-        assert!(
-            parse_power_states("pc3-mb8").is_err(),
-            "3 cores is not a power of two"
-        );
-        assert!(parse_power_states("turbo").is_err());
-    }
-
-    #[test]
-    fn interconnect_all_matches_fig6_order() {
-        assert_eq!(
-            parse_interconnects("all").unwrap(),
-            experiments::fig6_interconnects().to_vec()
-        );
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod axes;
 pub mod cli;
 pub mod experiments;
 pub mod perf;

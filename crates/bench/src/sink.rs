@@ -17,11 +17,17 @@
 //! A sink may be attached to several consecutive plan runs (the `all`
 //! subcommand does); [`RecordSink::begin`]/[`RecordSink::finish`]
 //! bracket each plan.
+//!
+//! File-backed sinks write through an [`AtomicFile`] (temp file +
+//! atomic rename on [`AtomicFile::persist`]), so an interrupted run can
+//! never leave a truncated `--json`/`--csv` output behind.
 
 use crate::perf::{fnv1a64_fold, json_string, Recorder, FNV_OFFSET};
 use crate::plan::RunRecord;
 use std::fmt::Write as _;
-use std::io::{self, Write};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Plan-level metadata handed to [`RecordSink::begin`].
@@ -107,6 +113,96 @@ pub fn record_json_line(r: &RunRecord) -> String {
     s
 }
 
+/// A buffered file writer that only takes the destination name once
+/// the caller declares the content complete: bytes go to a sibling
+/// `*.tmp.<pid>` file, and [`AtomicFile::persist`] flushes, syncs, and
+/// renames it into place in one step. If the process is interrupted —
+/// or the writer is dropped after an error — the destination either
+/// keeps its previous content or does not exist; it is never a
+/// truncated half-write. Unpersisted temp files are removed on drop.
+#[derive(Debug)]
+pub struct AtomicFile {
+    out: Option<BufWriter<File>>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    persisted: bool,
+}
+
+impl AtomicFile {
+    /// Opens a temp file next to `path` (same filesystem, so the final
+    /// rename is atomic).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the temp file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<AtomicFile> {
+        let dest = path.as_ref().to_path_buf();
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .ok_or_else(|| io::Error::other(format!("{}: not a file path", dest.display())))?;
+        name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = dest.with_file_name(name);
+        let file = File::create(&tmp)?;
+        Ok(AtomicFile {
+            out: Some(BufWriter::new(file)),
+            tmp,
+            dest,
+            persisted: false,
+        })
+    }
+
+    /// The destination path the file will take on persist.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flushes, syncs, and atomically renames the temp file onto the
+    /// destination. Consumes the writer: a persisted file is complete.
+    ///
+    /// # Errors
+    ///
+    /// Fails when flushing, syncing, or renaming fails; the temp file
+    /// is then cleaned up by drop and the destination is untouched.
+    pub fn persist(mut self) -> io::Result<()> {
+        let out = self
+            .out
+            .take()
+            .ok_or_else(|| io::Error::other("file already persisted"))?;
+        let file = out.into_inner().map_err(io::IntoInnerError::into_error)?;
+        file.sync_all()?;
+        drop(file);
+        fs::rename(&self.tmp, &self.dest)?;
+        self.persisted = true;
+        Ok(())
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.out.as_mut() {
+            Some(w) => w.write(buf),
+            None => Err(io::Error::other("file already persisted")),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.out.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if !self.persisted {
+            drop(self.out.take());
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
 /// JSON-lines sink: a plan-header object, then one object per record.
 ///
 /// Every line is a complete JSON document, so consumers can stream the
@@ -120,6 +216,28 @@ impl<W: Write + Send> JsonLinesSink<W> {
     /// A sink writing to `out`.
     pub fn new(out: W) -> Self {
         JsonLinesSink { out }
+    }
+}
+
+impl JsonLinesSink<AtomicFile> {
+    /// A sink writing to `path` through an [`AtomicFile`]: the file
+    /// appears under its final name only after [`Self::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sibling temp file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonLinesSink::new(AtomicFile::create(path)?))
+    }
+
+    /// Completes the file: flush + sync + atomic rename into place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AtomicFile::persist`] failures.
+    pub fn persist(mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.persist()
     }
 }
 
@@ -170,6 +288,28 @@ impl<W: Write + Send> CsvSink<W> {
             plan: String::new(),
             wrote_header: false,
         }
+    }
+}
+
+impl CsvSink<AtomicFile> {
+    /// A sink writing to `path` through an [`AtomicFile`]: the file
+    /// appears under its final name only after [`Self::persist`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sibling temp file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(CsvSink::new(AtomicFile::create(path)?))
+    }
+
+    /// Completes the file: flush + sync + atomic rename into place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AtomicFile::persist`] failures.
+    pub fn persist(mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.out.persist()
     }
 }
 
@@ -489,5 +629,85 @@ mod tests {
         assert_eq!(sum_a, sum_b, "identical streams hash equal");
         let (_, sum_c) = run(&records[..1]);
         assert_ne!(sum_a, sum_c, "different streams must not collide");
+    }
+
+    /// A unique scratch path under the system temp directory.
+    fn scratch(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mot3d-sink-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn atomic_file_appears_only_on_persist() {
+        let dest = scratch("atomic_persist.txt");
+        let mut file = AtomicFile::create(&dest).unwrap();
+        file.write_all(b"complete\n").unwrap();
+        assert!(!dest.exists(), "destination must not exist mid-write");
+        assert_eq!(file.dest(), dest);
+        file.persist().unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "complete\n");
+        std::fs::remove_file(&dest).unwrap();
+    }
+
+    #[test]
+    fn atomic_file_drop_without_persist_cleans_up() {
+        let dest = scratch("atomic_abandon.txt");
+        let tmp = {
+            let mut file = AtomicFile::create(&dest).unwrap();
+            file.write_all(b"partial").unwrap();
+            file.flush().unwrap();
+            let tmp = dest.with_file_name(format!(
+                "{}.tmp.{}",
+                dest.file_name().unwrap().to_string_lossy(),
+                std::process::id()
+            ));
+            assert!(tmp.exists(), "temp file holds the bytes mid-write");
+            tmp
+        };
+        assert!(!dest.exists(), "abandoned write must not surface");
+        assert!(!tmp.exists(), "abandoned temp file must be removed");
+    }
+
+    #[test]
+    fn atomic_file_persist_preserves_previous_content_until_rename() {
+        let dest = scratch("atomic_replace.txt");
+        std::fs::write(&dest, "old").unwrap();
+        let mut file = AtomicFile::create(&dest).unwrap();
+        file.write_all(b"new").unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "old");
+        file.persist().unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "new");
+        std::fs::remove_file(&dest).unwrap();
+    }
+
+    #[test]
+    fn file_backed_sinks_persist_complete_documents() {
+        let records = two_records();
+        let meta = PlanMeta {
+            plan: "unit",
+            points: records.len(),
+            scale: 0.004,
+            seed: 1,
+        };
+        let json_path = scratch("sink_persist.jsonl");
+        let mut json = JsonLinesSink::create(&json_path).unwrap();
+        let csv_path = scratch("sink_persist.csv");
+        let mut csv = CsvSink::create(&csv_path).unwrap();
+        json.begin(&meta).unwrap();
+        csv.begin(&meta).unwrap();
+        for r in &records {
+            json.record(r).unwrap();
+            csv.record(r).unwrap();
+        }
+        json.finish().unwrap();
+        csv.finish().unwrap();
+        assert!(!json_path.exists() && !csv_path.exists());
+        json.persist().unwrap();
+        csv.persist().unwrap();
+        let json_text = std::fs::read_to_string(&json_path).unwrap();
+        assert_eq!(json_text.lines().count(), records.len() + 1);
+        let csv_text = std::fs::read_to_string(&csv_path).unwrap();
+        assert_eq!(csv_text.lines().count(), records.len() + 1);
+        std::fs::remove_file(&json_path).unwrap();
+        std::fs::remove_file(&csv_path).unwrap();
     }
 }

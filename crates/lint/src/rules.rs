@@ -104,14 +104,15 @@ const METRICS_PATHS: [&str; 5] = [
     "crates/bench/src/experiments.rs",
 ];
 
-/// The bench crate's timing/CLI modules, exempt from D3 — the one place
+/// The bench/serve timing/CLI modules, exempt from D3 — the one place
 /// wall-clock and environment reads are part of the job.
-const D3_EXEMPT: [&str; 5] = [
+const D3_EXEMPT: [&str; 6] = [
     "crates/bench/src/cli.rs",
     "crates/bench/src/perf.rs",
     "crates/bench/src/pool.rs",
     "crates/bench/src/sink.rs",
     "crates/bench/src/experiments.rs",
+    "crates/serve/src/cli.rs",
 ];
 
 /// Iterator-producing methods D2 watches for on hash-named receivers.
@@ -678,6 +679,12 @@ mod tests {
         assert!(!scope_of("examples/quickstart.rs").d3);
         assert!(scope_of("crates/bench/src/plan.rs").d3);
         assert!(!scope_of("crates/bench/src/cli.rs").d3);
+        assert!(!scope_of("crates/serve/src/cli.rs").d3);
+        assert!(scope_of("crates/serve/src/store.rs").d3);
+        assert!(
+            !scope_of("crates/serve/src/store.rs").d1,
+            "not a result crate"
+        );
         assert!(scope_of("crates/bench/src/report.rs").d2);
     }
 }

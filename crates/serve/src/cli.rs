@@ -1,0 +1,295 @@
+//! Argument parsing for `mot3d serve` and `mot3d submit`.
+//!
+//! This is the serve crate's only module allowed to read the
+//! environment (`HOME` for the default cache directory, the deprecated
+//! `MOT3D_THREADS` fallback) — everything below it takes explicit
+//! configuration, mirroring how `mot3d_bench::cli` isolates the bench
+//! crate's env access.
+
+use crate::client;
+use crate::protocol::PlanRequest;
+use crate::server::{self, ServerConfig};
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Entry point for `mot3d serve` (args exclude the subcommand).
+/// Returns the process exit code (0/1/2 like the bench CLI).
+pub fn run_serve(args: &[String]) -> i32 {
+    let config = match parse_serve(args) {
+        Ok(config) => config,
+        Err(UsageError::Help) => {
+            print!("{}", serve_usage());
+            return 0;
+        }
+        Err(UsageError::Bad(msg)) => {
+            eprintln!("mot3d serve: {msg}");
+            eprintln!();
+            eprint!("{}", serve_usage());
+            return 2;
+        }
+    };
+    match server::serve(&config) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("mot3d serve: {e}");
+            1
+        }
+    }
+}
+
+/// Entry point for `mot3d submit` (args exclude the subcommand).
+/// Returns the process exit code (0/1/2 like the bench CLI).
+pub fn run_submit(args: &[String]) -> i32 {
+    let (addr, request) = match parse_submit(args) {
+        Ok(parsed) => parsed,
+        Err(UsageError::Help) => {
+            print!("{}", submit_usage());
+            return 0;
+        }
+        Err(UsageError::Bad(msg)) => {
+            eprintln!("mot3d submit: {msg}");
+            eprintln!();
+            eprint!("{}", submit_usage());
+            return 2;
+        }
+    };
+    let stdout = io::stdout();
+    match client::submit(&addr, &request, &mut stdout.lock()) {
+        Ok(outcome) => {
+            eprintln!(
+                "mot3d submit: {} points ({} cached, {} deduped, {} executed)",
+                outcome.points, outcome.hits, outcome.waited, outcome.executed,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("mot3d submit: {e}");
+            1
+        }
+    }
+}
+
+enum UsageError {
+    Help,
+    Bad(String),
+}
+
+fn bad(msg: impl Into<String>) -> UsageError {
+    UsageError::Bad(msg.into())
+}
+
+fn serve_usage() -> String {
+    "\
+mot3d serve — long-running sweep service with a persistent result cache
+
+USAGE: mot3d serve [options]
+
+OPTIONS:
+  --addr <host:port>     bind address, default 127.0.0.1:4016
+                         (port 0 picks a free port, printed to stderr)
+  --cache-dir <path>     result store, default ~/.cache/mot3d
+  --threads <n>          worker threads per submission
+                         (deprecated fallback: MOT3D_THREADS)
+  --pool-cap <n>         cluster-cache cap per worker, default 32
+  --accept-limit <n>     exit after n connections (CI smoke tests)
+
+PROTOCOL (one JSON document per line):
+  client → {\"submit\": \"sweep\", \"bench\": \"fft\", \"scale\": \"tiny\"}
+  server → the exact `mot3d sweep --json` stream for that plan,
+           then {\"done\": true, ...cache counters...}
+"
+    .to_string()
+}
+
+fn submit_usage() -> String {
+    "\
+mot3d submit — send a sweep to a running `mot3d serve`
+
+USAGE: mot3d submit [options]
+
+The record stream goes to stdout (byte-identical to
+`mot3d sweep --json` for the same axes); the summary goes to stderr.
+
+OPTIONS:
+  --addr <host:port>         server address, default 127.0.0.1:4016
+  --plan <name>              plan name in the response header,
+                             default \"sweep\"
+  --scale <factor|tiny>      run-length factor, default 0.35
+  --seed <u64>               workload seed override
+  --bench <list|all>         cholesky,fft,fmm,ocean_contiguous,radix,
+                             raytrace,volrend,water-nsquared
+  --interconnect <list|all>  mot3d, mesh, bus-mesh, bus-tree
+  --power-state <list|all>   full, pc16-mb8, pc4-mb32 (any pcX-mbY)
+  --dram <list|all>          200ns, 63ns, 42ns
+  --page <flat|open|both>    DRAM page-policy axis
+  --repeat <n>               runs per grid cell (each repeat reseeds)
+
+EXAMPLE:
+  mot3d submit --bench fft,radix --dram all --scale tiny > grid.jsonl
+"
+    .to_string()
+}
+
+/// The default store location: `$HOME/.cache/mot3d`, or a relative
+/// `.cache/mot3d` for the (HOME-less) CI containers.
+fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("HOME") {
+        Some(home) if !home.is_empty() => PathBuf::from(home).join(".cache/mot3d"),
+        _ => PathBuf::from(".cache/mot3d"),
+    }
+}
+
+/// The deprecated `MOT3D_THREADS` fallback, with the same stderr note
+/// the bench CLI prints when a flag has a preferred spelling.
+fn deprecated_threads_fallback() -> Option<usize> {
+    let raw = std::env::var("MOT3D_THREADS").ok()?;
+    eprintln!("note: MOT3D_THREADS is deprecated; prefer `mot3d serve --threads <n>`");
+    match raw.trim().parse::<usize>() {
+        Ok(t) if t > 0 => Some(t),
+        _ => {
+            eprintln!("warning: ignoring malformed MOT3D_THREADS={raw:?}");
+            None
+        }
+    }
+}
+
+fn parse_serve(args: &[String]) -> Result<ServerConfig, UsageError> {
+    let mut config = ServerConfig::new(default_cache_dir());
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            return Err(UsageError::Help);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| bad(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--cache-dir" => config.cache_dir = PathBuf::from(value),
+            "--threads" => {
+                let t: usize = value.parse().ok().filter(|&t| t > 0).ok_or_else(|| {
+                    bad(format!("--threads needs a positive integer, got {value:?}"))
+                })?;
+                config.threads = Some(t);
+            }
+            "--pool-cap" => {
+                let c: usize = value.parse().ok().filter(|&c| c > 0).ok_or_else(|| {
+                    bad(format!(
+                        "--pool-cap needs a positive integer, got {value:?}"
+                    ))
+                })?;
+                config.pool_capacity = Some(c);
+            }
+            "--accept-limit" => {
+                let n: u64 = value.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    bad(format!(
+                        "--accept-limit needs a positive integer, got {value:?}"
+                    ))
+                })?;
+                config.accept_limit = Some(n);
+            }
+            other => return Err(bad(format!("unknown option {other:?}"))),
+        }
+    }
+    if config.threads.is_none() {
+        config.threads = deprecated_threads_fallback();
+    }
+    Ok(config)
+}
+
+fn parse_submit(args: &[String]) -> Result<(String, PlanRequest), UsageError> {
+    let mut addr = "127.0.0.1:4016".to_string();
+    let mut request = PlanRequest::new("sweep");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            return Err(UsageError::Help);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| bad(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--plan" => request.name = value.clone(),
+            "--scale" => request.scale = Some(value.clone()),
+            "--seed" => {
+                let s: u64 = value
+                    .parse()
+                    .map_err(|_| bad(format!("--seed needs an unsigned integer, got {value:?}")))?;
+                request.seed = Some(s);
+            }
+            "--bench" => request.bench = Some(value.clone()),
+            "--interconnect" => request.interconnect = Some(value.clone()),
+            "--power-state" => request.power_state = Some(value.clone()),
+            "--dram" => request.dram = Some(value.clone()),
+            "--page" => request.page = Some(value.clone()),
+            "--repeat" => {
+                let r: u32 = value.parse().ok().filter(|&r| r > 0).ok_or_else(|| {
+                    bad(format!("--repeat needs a positive integer, got {value:?}"))
+                })?;
+                request.repeat = Some(r);
+            }
+            other => return Err(bad(format!("unknown option {other:?}"))),
+        }
+    }
+    // Surface bad axis values before dialing the server.
+    if let Err(msg) = request.to_plan().and_then(|p| p.check()) {
+        return Err(bad(msg));
+    }
+    let _ = io::stderr().flush();
+    Ok((addr, request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let c = parse_serve(&argv(
+            "--addr 127.0.0.1:0 --cache-dir /tmp/x --threads 3 --pool-cap 4 --accept-limit 2",
+        ))
+        .ok()
+        .unwrap();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.cache_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(c.threads, Some(3));
+        assert_eq!(c.pool_capacity, Some(4));
+        assert_eq!(c.accept_limit, Some(2));
+        assert!(parse_serve(&argv("--threads 0")).is_err());
+        assert!(parse_serve(&argv("--nope 1")).is_err());
+        assert!(parse_serve(&argv("--addr")).is_err(), "missing value");
+    }
+
+    #[test]
+    fn submit_flags_build_the_request() {
+        let (addr, req) = parse_submit(&argv(
+            "--addr 127.0.0.1:7 --plan p --bench fft --dram all --scale tiny --seed 9 --repeat 2",
+        ))
+        .ok()
+        .unwrap();
+        assert_eq!(addr, "127.0.0.1:7");
+        assert_eq!(req.name, "p");
+        assert_eq!(req.bench.as_deref(), Some("fft"));
+        assert_eq!(req.dram.as_deref(), Some("all"));
+        assert_eq!(req.scale.as_deref(), Some("tiny"));
+        assert_eq!(req.seed, Some(9));
+        assert_eq!(req.repeat, Some(2));
+        assert!(
+            parse_submit(&argv("--bench nonesuch")).is_err(),
+            "axis values are validated before dialing"
+        );
+        assert!(parse_submit(&argv("--repeat 0")).is_err());
+    }
+
+    #[test]
+    fn defaults_target_the_local_server() {
+        let (addr, req) = parse_submit(&[]).ok().unwrap();
+        assert_eq!(addr, "127.0.0.1:4016");
+        assert_eq!(req, PlanRequest::new("sweep"));
+    }
+}

@@ -1,0 +1,46 @@
+//! The `mot3d submit` side: send one request, relay the stream.
+
+use crate::exec::PlanOutcome;
+use crate::protocol::{self, PlanRequest};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Submits `request` to the server at `addr`, copying the header and
+/// every record line (newline included) to `out` as they arrive. The
+/// terminal summary line is consumed, not copied — `out` ends up with
+/// exactly the bytes `mot3d sweep --json` would have written.
+///
+/// # Errors
+///
+/// Fails on connection errors, a server-reported `{"error": ...}` line
+/// (as `InvalidInput`), or a stream that ends without a summary.
+pub fn submit(addr: &str, request: &PlanRequest, out: &mut impl Write) -> io::Result<PlanOutcome> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", request.to_line())?;
+    writer.flush()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        match protocol::parse_summary(&line) {
+            Ok(None) => {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+            }
+            Ok(Some(outcome)) => {
+                out.flush()?;
+                return Ok(outcome);
+            }
+            Err(msg) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("server rejected the submission: {msg}"),
+                ));
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        "server closed the connection before the summary line",
+    ))
+}

@@ -1,0 +1,411 @@
+//! Cache-backed plan execution with cross-client in-flight dedupe.
+//!
+//! A [`CachedExecutor`] owns the [`ResultStore`] plus an *in-flight
+//! table*: when several clients submit overlapping plans concurrently,
+//! the first claimant of a point becomes its **owner** and simulates
+//! it; everyone else **waits** on the owner's [`Flight`] and receives a
+//! clone of the result. Each physical point is therefore simulated at
+//! most once per process lifetime — and at most once ever, once the
+//! store holds it.
+//!
+//! [`CachedExecutor::run_plan`] streams records **in expansion order**
+//! while misses execute concurrently on the bench worker pool, exactly
+//! like `ExperimentPlan::run_with` does for uncached runs.
+
+use crate::codec::{cache_key, CacheKey, Fingerprint};
+use crate::store::{ResultStore, StoreStats};
+use mot3d_bench::plan::{ExperimentPlan, RunPoint, RunRecord};
+use mot3d_bench::pool;
+use mot3d_phys::fnv::FnvHashMap;
+use mot3d_sim::{run_spec, Metrics};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A point being simulated right now; waiters block on the condvar.
+#[derive(Debug, Default)]
+struct Flight {
+    slot: Mutex<Option<Metrics>>,
+    ready: Condvar,
+}
+
+impl Flight {
+    fn fulfill(&self, metrics: Metrics) {
+        let mut slot = self.slot.lock().expect("flight lock not poisoned");
+        *slot = Some(metrics);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Metrics {
+        let mut slot = self.slot.lock().expect("flight lock not poisoned");
+        loop {
+            if let Some(metrics) = slot.as_ref() {
+                return metrics.clone();
+            }
+            slot = self.ready.wait(slot).expect("flight lock not poisoned");
+        }
+    }
+}
+
+/// How one point of a submission was satisfied.
+enum Slot {
+    /// Served from the persistent store.
+    Cached(Box<Metrics>),
+    /// This submission owns the simulation.
+    Own(Arc<Flight>),
+    /// Another in-flight submission owns it; wait for its result.
+    Wait(Arc<Flight>),
+}
+
+/// Per-submission outcome counters (the wire summary reports these
+/// alongside the store's process-lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanOutcome {
+    /// Points the plan expanded to.
+    pub points: u64,
+    /// Points served straight from the persistent store.
+    pub hits: u64,
+    /// Points deduped against another client's in-flight simulation.
+    pub waited: u64,
+    /// Points this submission simulated.
+    pub executed: u64,
+}
+
+/// The serving core: persistent store + in-flight dedupe + worker-pool
+/// execution. One per server process, shared by connection threads.
+#[derive(Debug)]
+pub struct CachedExecutor {
+    store: Mutex<ResultStore>,
+    fingerprint: Fingerprint,
+    inflight: Mutex<FnvHashMap<CacheKey, Arc<Flight>>>,
+    threads: Option<usize>,
+    pool_capacity: Option<usize>,
+    executed_total: AtomicU64,
+}
+
+impl CachedExecutor {
+    /// An executor over `store` keyed under `fingerprint`.
+    ///
+    /// `threads` pins the worker count per submission (default: the
+    /// pool's own resolution); `pool_capacity` bounds every worker's
+    /// thread-local [`mot3d_sim::ClusterPool`] — a long-running server
+    /// otherwise accumulates one cached cluster per distinct
+    /// configuration it ever simulates.
+    pub fn new(
+        store: ResultStore,
+        fingerprint: Fingerprint,
+        threads: Option<usize>,
+        pool_capacity: Option<usize>,
+    ) -> Self {
+        CachedExecutor {
+            store: Mutex::new(store),
+            fingerprint,
+            inflight: Mutex::new(FnvHashMap::default()),
+            threads,
+            pool_capacity,
+            executed_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Total simulations this process has executed (misses only —
+    /// cache hits and deduped waits don't count).
+    pub fn executed_total(&self) -> u64 {
+        self.executed_total.load(Ordering::Relaxed)
+    }
+
+    /// The store's hit/miss/insert counters.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.lock().expect("store lock not poisoned").stats()
+    }
+
+    /// The executor's fingerprint.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// Claims every point of a submission: a store probe under the
+    /// in-flight lock, so a point can never be double-owned and a
+    /// just-finished flight is always found in the store.
+    fn claim(&self, points: &[RunPoint], keys: &[CacheKey]) -> io::Result<Vec<Slot>> {
+        let mut slots = Vec::with_capacity(points.len());
+        for key in keys {
+            let mut inflight = self.inflight.lock().expect("inflight lock not poisoned");
+            if let Some(flight) = inflight.get(key) {
+                slots.push(Slot::Wait(Arc::clone(flight)));
+                continue;
+            }
+            let cached = self
+                .store
+                .lock()
+                .expect("store lock not poisoned")
+                .get(*key)?;
+            match cached {
+                Some(metrics) => slots.push(Slot::Cached(Box::new(metrics))),
+                None => {
+                    let flight = Arc::new(Flight::default());
+                    inflight.insert(*key, Arc::clone(&flight));
+                    slots.push(Slot::Own(flight));
+                }
+            }
+        }
+        Ok(slots)
+    }
+
+    /// Executes `plan` against the cache and streams every record — in
+    /// expansion order, as soon as it is available — to `on_record`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when the plan fails its own `check`, the
+    /// first store I/O error, or the first `on_record` error (remaining
+    /// simulations still complete and are cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator rejects a point `check` cannot see
+    /// (none are known today) — mirroring `ExperimentPlan::run_with`.
+    pub fn run_plan(
+        &self,
+        plan: &ExperimentPlan,
+        mut on_record: impl FnMut(&RunRecord) -> io::Result<()>,
+    ) -> io::Result<PlanOutcome> {
+        if let Err(msg) = plan.check() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
+        }
+        let points = plan.points();
+        let keys: Vec<CacheKey> = points
+            .iter()
+            .map(|p| cache_key(&self.fingerprint, p))
+            .collect();
+        let slots = self.claim(&points, &keys)?;
+
+        let mut outcome = PlanOutcome {
+            points: points.len() as u64,
+            ..PlanOutcome::default()
+        };
+        let mut owned: Vec<usize> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Slot::Cached(_) => outcome.hits += 1,
+                Slot::Wait(_) => outcome.waited += 1,
+                Slot::Own(_) => {
+                    outcome.executed += 1;
+                    owned.push(i);
+                }
+            }
+        }
+
+        let store_err: Mutex<Option<io::Error>> = Mutex::new(None);
+        let mut emit_err: Option<io::Error> = None;
+        std::thread::scope(|scope| {
+            if !owned.is_empty() {
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| pool::worker_threads(owned.len()));
+                let owned = &owned;
+                let points = &points;
+                let keys = &keys;
+                let slots = &slots;
+                let store_err = &store_err;
+                scope.spawn(move || {
+                    pool::parallel_map_streamed_on(
+                        threads,
+                        owned.len(),
+                        |j| {
+                            if let Some(cap) = self.pool_capacity {
+                                mot3d_sim::set_local_pool_capacity(Some(cap));
+                            }
+                            let p = &points[owned[j]];
+                            run_spec(&p.spec, &p.config)
+                                .unwrap_or_else(|e| panic!("{}: {e}", p.label()))
+                        },
+                        |j, metrics| {
+                            let i = owned[j];
+                            self.executed_total.fetch_add(1, Ordering::Relaxed);
+                            self.settle(keys[i], metrics, store_err);
+                            if let Slot::Own(flight) = &slots[i] {
+                                flight.fulfill(metrics.clone());
+                            }
+                        },
+                    );
+                });
+            }
+            // Stream in expansion order while the pool works: each slot
+            // is either ready or will be fulfilled by an owner (ours on
+            // the pool above, or another client's).
+            for (i, slot) in slots.iter().enumerate() {
+                let metrics = match slot {
+                    Slot::Cached(metrics) => (**metrics).clone(),
+                    Slot::Own(flight) | Slot::Wait(flight) => flight.wait(),
+                };
+                if emit_err.is_some() {
+                    continue; // keep draining so owned work still caches
+                }
+                let record = RunRecord::new(points[i].clone(), metrics);
+                if let Err(e) = on_record(&record) {
+                    emit_err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = emit_err {
+            return Err(e);
+        }
+        if let Some(e) = store_err.into_inner().expect("store-err lock not poisoned") {
+            return Err(e);
+        }
+        Ok(outcome)
+    }
+
+    /// Publishes a finished simulation: store first, then drop the
+    /// in-flight entry — both under the in-flight lock, so a concurrent
+    /// [`CachedExecutor::claim`] sees either the flight or the stored
+    /// result, never neither.
+    fn settle(&self, key: CacheKey, metrics: &Metrics, store_err: &Mutex<Option<io::Error>>) {
+        let mut inflight = self.inflight.lock().expect("inflight lock not poisoned");
+        let put = self
+            .store
+            .lock()
+            .expect("store lock not poisoned")
+            .put(key, metrics);
+        if let Err(e) = put {
+            let mut slot = store_err.lock().expect("store-err lock not poisoned");
+            slot.get_or_insert(e);
+        }
+        inflight.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mot3d_bench::ExperimentScale;
+    use std::path::PathBuf;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mot3d-exec-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_plan() -> ExperimentPlan {
+        ExperimentPlan::new("exec")
+            .page_policies([false, true])
+            .scale(ExperimentScale::tiny())
+    }
+
+    #[test]
+    fn second_submission_is_fully_cached_and_runs_nothing() {
+        let dir = scratch_dir("rerun");
+        let exec = CachedExecutor::new(
+            ResultStore::open(&dir).unwrap(),
+            Fingerprint::current(),
+            Some(2),
+            None,
+        );
+        let plan = tiny_plan();
+        let mut first = Vec::new();
+        let cold = exec
+            .run_plan(&plan, |r| {
+                first.push(mot3d_bench::sink::record_json_line(r));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(cold.executed, cold.points);
+        assert_eq!(cold.hits, 0);
+        let mut second = Vec::new();
+        let warm = exec
+            .run_plan(&plan, |r| {
+                second.push(mot3d_bench::sink::record_json_line(r));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(warm.hits, warm.points, "hit counter equals point count");
+        assert_eq!(warm.executed, 0, "zero simulations on the second pass");
+        assert_eq!(first, second, "replay is byte-identical");
+        assert_eq!(exec.executed_total(), cold.points);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_overlapping_plans_simulate_shared_points_once() {
+        let dir = scratch_dir("overlap");
+        let exec = CachedExecutor::new(
+            ResultStore::open(&dir).unwrap(),
+            Fingerprint::current(),
+            Some(2),
+            None,
+        );
+        let plan = tiny_plan(); // both clients submit the same points
+        let (a, b) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| {
+                let mut lines = Vec::new();
+                let out = exec
+                    .run_plan(&plan, |r| {
+                        lines.push(mot3d_bench::sink::record_json_line(r));
+                        Ok(())
+                    })
+                    .unwrap();
+                (out, lines)
+            });
+            let hb = scope.spawn(|| {
+                let mut lines = Vec::new();
+                let out = exec
+                    .run_plan(&plan, |r| {
+                        lines.push(mot3d_bench::sink::record_json_line(r));
+                        Ok(())
+                    })
+                    .unwrap();
+                (out, lines)
+            });
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        assert_eq!(a.1, b.1, "both clients see identical streams");
+        assert_eq!(
+            exec.executed_total(),
+            a.0.points,
+            "each shared point simulated exactly once across both clients"
+        );
+        assert_eq!(
+            a.0.executed + b.0.executed + a.0.waited + b.0.waited + a.0.hits + b.0.hits,
+            2 * a.0.points,
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn emit_errors_do_not_poison_the_cache() {
+        let dir = scratch_dir("emit-err");
+        let exec = CachedExecutor::new(
+            ResultStore::open(&dir).unwrap(),
+            Fingerprint::current(),
+            Some(1),
+            Some(2),
+        );
+        let plan = tiny_plan();
+        let err = exec
+            .run_plan(&plan, |_| Err(io::Error::other("client hung up")))
+            .expect_err("emit error must surface");
+        assert_eq!(err.to_string(), "client hung up");
+        // The simulations still completed and were cached.
+        let warm = exec.run_plan(&plan, |_| Ok(())).unwrap();
+        assert_eq!(warm.hits, warm.points);
+        assert_eq!(warm.executed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected_up_front() {
+        let dir = scratch_dir("invalid");
+        let exec = CachedExecutor::new(
+            ResultStore::open(&dir).unwrap(),
+            Fingerprint::current(),
+            Some(1),
+            None,
+        );
+        let empty = ExperimentPlan::new("empty").splash([]);
+        let err = exec.run_plan(&empty, |_| Ok(())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(exec.executed_total(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

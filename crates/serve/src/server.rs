@@ -1,0 +1,209 @@
+//! The TCP accept loop behind `mot3d serve`.
+//!
+//! One thread per connection; every connection shares the process-wide
+//! [`CachedExecutor`], so concurrent clients dedupe against the same
+//! store and in-flight table. The response stream is written by the
+//! bench crate's [`JsonLinesSink`], which keeps served bytes identical
+//! to offline `mot3d sweep --json` output.
+//!
+//! [`JsonLinesSink`]: mot3d_bench::sink::JsonLinesSink
+
+use crate::codec::Fingerprint;
+use crate::exec::CachedExecutor;
+use crate::protocol::{self, PlanRequest};
+use crate::store::ResultStore;
+use mot3d_bench::sink::{JsonLinesSink, PlanMeta, RecordSink};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+
+/// Everything `serve` needs to come up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (printed to stderr).
+    pub addr: String,
+    /// Result-store directory.
+    pub cache_dir: PathBuf,
+    /// Worker threads per submission (`None`: the pool decides).
+    pub threads: Option<usize>,
+    /// Cap on each worker's thread-local cluster cache.
+    pub pool_capacity: Option<usize>,
+    /// Exit after this many connections (CI smoke tests); `None` runs
+    /// until killed.
+    pub accept_limit: Option<u64>,
+    /// Cache-key fingerprint (tests override it to segregate stores).
+    pub fingerprint: Fingerprint,
+}
+
+impl ServerConfig {
+    /// The default configuration over `cache_dir`: loopback port 4016,
+    /// pool-resolved threads, a 32-cluster pool cap, no accept limit.
+    pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4016".to_string(),
+            cache_dir: cache_dir.into(),
+            threads: None,
+            pool_capacity: Some(32),
+            accept_limit: None,
+            fingerprint: Fingerprint::current(),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server: [`ServerConfig::bind`] returns
+/// one so callers (tests, scripts binding port 0) can learn the actual
+/// address before the accept loop starts.
+#[derive(Debug)]
+pub struct BoundServer {
+    listener: TcpListener,
+    exec: CachedExecutor,
+    accept_limit: Option<u64>,
+}
+
+impl ServerConfig {
+    /// Opens the store and binds the listen socket.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the store cannot open or the address cannot bind.
+    pub fn bind(&self) -> io::Result<BoundServer> {
+        let store = ResultStore::open(&self.cache_dir)?;
+        let exec = CachedExecutor::new(
+            store,
+            self.fingerprint.clone(),
+            self.threads,
+            self.pool_capacity,
+        );
+        Ok(BoundServer {
+            listener: TcpListener::bind(&self.addr)?,
+            exec,
+            accept_limit: self.accept_limit,
+        })
+    }
+}
+
+impl BoundServer {
+    /// The actual listen address (resolves a port-0 bind).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's address lookup failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop until the accept limit (if any) is reached,
+    /// one thread per connection. Per-connection I/O errors are
+    /// reported to stderr and do not stop the server.
+    pub fn run(self) {
+        let mut accepted: u64 = 0;
+        std::thread::scope(|scope| {
+            for conn in self.listener.incoming() {
+                match conn {
+                    Ok(stream) => {
+                        let exec = &self.exec;
+                        scope.spawn(move || {
+                            let peer = peer_label(&stream);
+                            if let Err(e) = handle(exec, stream) {
+                                eprintln!("mot3d serve: {peer}: {e}");
+                            }
+                        });
+                    }
+                    Err(e) => eprintln!("mot3d serve: accept failed: {e}"),
+                }
+                accepted += 1;
+                if self.accept_limit.is_some_and(|limit| accepted >= limit) {
+                    break;
+                }
+            }
+        });
+    }
+}
+
+/// Runs the service until the accept limit (if any) is reached. Prints
+/// the bound address to stderr as `mot3d serve: listening on <addr>` —
+/// tests and scripts binding port 0 parse that line.
+///
+/// # Errors
+///
+/// Fails when the store cannot open or the address cannot bind.
+pub fn serve(config: &ServerConfig) -> io::Result<()> {
+    let server = config.bind()?;
+    eprintln!(
+        "mot3d serve: listening on {} (cache: {})",
+        server.local_addr()?,
+        config.cache_dir.display()
+    );
+    server.run();
+    Ok(())
+}
+
+fn peer_label(stream: &TcpStream) -> String {
+    stream.peer_addr().map_or_else(
+        |_| "<unknown peer>".to_string(),
+        |a: SocketAddr| a.to_string(),
+    )
+}
+
+/// Serves one connection: read a request line, stream the response.
+fn handle(exec: &CachedExecutor, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut out = BufWriter::new(stream);
+    let trimmed = line.trim_end_matches(['\n', '\r']);
+    match respond(exec, trimmed, &mut out) {
+        Ok(()) => {}
+        // The client sees the reason; the server stays up.
+        Err(Reject::Client(msg)) => writeln!(out, "{}", protocol::error_line(&msg))?,
+        Err(Reject::Io(e)) => return Err(e),
+    }
+    out.flush()
+}
+
+/// Why a submission produced no record stream.
+enum Reject {
+    /// The request was invalid — reportable over the wire.
+    Client(String),
+    /// The connection or store failed — only loggable.
+    Io(io::Error),
+}
+
+impl From<io::Error> for Reject {
+    fn from(e: io::Error) -> Self {
+        Reject::Io(e)
+    }
+}
+
+fn respond(
+    exec: &CachedExecutor,
+    request_line: &str,
+    out: &mut BufWriter<TcpStream>,
+) -> Result<(), Reject> {
+    if request_line.is_empty() {
+        return Err(Reject::Client("empty request".to_string()));
+    }
+    let request = PlanRequest::parse(request_line).map_err(Reject::Client)?;
+    let plan = request.to_plan().map_err(Reject::Client)?;
+    if let Err(msg) = plan.check() {
+        return Err(Reject::Client(msg));
+    }
+    let scale = request.resolved_scale().map_err(Reject::Client)?;
+    // The header + records must be the exact bytes `mot3d sweep --json`
+    // writes, so the same sink serialises them.
+    let mut sink = JsonLinesSink::new(&mut *out);
+    sink.begin(&PlanMeta {
+        plan: &request.name,
+        points: plan.len(),
+        scale: scale.scale,
+        seed: scale.seed,
+    })?;
+    let outcome = exec.run_plan(&plan, |record| sink.record(record))?;
+    sink.finish()?;
+    writeln!(
+        out,
+        "{}",
+        protocol::summary_line(outcome, exec.store_stats())
+    )?;
+    Ok(())
+}

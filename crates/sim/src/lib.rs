@@ -39,4 +39,6 @@ pub use cluster::Cluster;
 pub use config::{InterconnectChoice, SimConfig};
 pub use error::SimError;
 pub use metrics::Metrics;
-pub use runner::{run_benchmark, run_source, run_spec, shrink_local_pool, ClusterPool};
+pub use runner::{
+    run_benchmark, run_source, run_spec, set_local_pool_capacity, shrink_local_pool, ClusterPool,
+};

@@ -37,6 +37,25 @@ impl LatencyStats {
         self.count
     }
 
+    /// Sum of all samples in cycles (exact, unlike the derived mean) —
+    /// the field serializers need to round-trip the stats losslessly.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Rebuilds stats from their raw fields, the inverse of reading
+    /// [`LatencyStats::count`]/[`LatencyStats::total`]/
+    /// [`LatencyStats::max`]/[`LatencyStats::buckets`]. Used by result
+    /// stores that persist metrics and must replay them bit-identically.
+    pub fn from_raw(count: u64, total: u64, max: u64, buckets: [u64; 7]) -> Self {
+        LatencyStats {
+            count,
+            total,
+            max,
+            buckets,
+        }
+    }
+
     /// Mean in cycles (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -157,5 +176,16 @@ mod tests {
         let s = LatencyStats::default();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn raw_fields_round_trip() {
+        let mut s = LatencyStats::default();
+        for v in [3, 9, 17, 900] {
+            s.record(v);
+        }
+        let rebuilt = LatencyStats::from_raw(s.count(), s.total(), s.max(), *s.buckets());
+        assert_eq!(rebuilt, s);
+        assert_eq!(s.total(), 3 + 9 + 17 + 900);
     }
 }

@@ -18,17 +18,34 @@ use mot3d_workloads::{streams, SplashBenchmark, WorkloadSource, WorkloadSpec};
 use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 
-/// A cache of reusable clusters, keyed by configuration.
+/// One cached cluster plus the recency tick of its last run.
+#[derive(Debug)]
+struct PooledCluster {
+    cluster: Cluster,
+    last_used: u64,
+}
+
+/// A cache of reusable clusters, keyed by configuration, with an
+/// optional LRU capacity bound.
 ///
-/// The pool is **unbounded**: it caches one cluster per *distinct*
-/// [`SimConfig`] it has ever run, and a cluster (16 L1s + 32 L2 banks +
-/// interconnect state) is megabytes of arrays. The paper's canned sweeps
-/// touch at most a handful of configurations per worker thread, so
-/// growth is naturally capped there — but a long ad-hoc sweep over many
-/// axes (seeds, DRAM options, power states, page policies) accumulates
-/// one cluster for *every* grid cell it visits. Such callers should
-/// [`ClusterPool::shrink_to`] (or [`shrink_local_pool`] for the
-/// thread-local pool behind [`run_spec`]) between sweeps.
+/// By default the pool is **unbounded**: it caches one cluster per
+/// *distinct* [`SimConfig`] it has ever run, and a cluster (16 L1s + 32
+/// L2 banks + interconnect state) is megabytes of arrays. The paper's
+/// canned sweeps touch at most a handful of configurations per worker
+/// thread, so growth is naturally capped there — but a long ad-hoc
+/// sweep over many axes (seeds, DRAM options, power states, page
+/// policies), and especially a long-running sweep *service* executing
+/// arbitrary client plans, accumulates one cluster for *every* grid
+/// cell it visits. Such callers either set a capacity
+/// ([`ClusterPool::with_capacity`] / [`ClusterPool::set_capacity`], or
+/// [`set_local_pool_capacity`] for the thread-local pool behind
+/// [`run_spec`]) so the least-recently-used cluster is evicted on
+/// overflow, or [`ClusterPool::shrink_to`] between sweeps.
+///
+/// Eviction never affects results: a dropped configuration is rebuilt
+/// bit-identically on its next run. The eviction *order* is
+/// deterministic too (strictly increasing run ticks, least recent
+/// first), so a capped pool behaves identically run-to-run.
 ///
 /// # Examples
 ///
@@ -48,17 +65,50 @@ use std::collections::hash_map::Entry;
 /// // Long ad-hoc sweeps bound the cache between phases:
 /// pool.shrink_to(0);
 /// assert!(pool.is_empty());
+///
+/// // Long-running services bound it up front instead:
+/// let mut capped = ClusterPool::with_capacity(2);
+/// assert_eq!(capped.capacity(), Some(2));
 /// # Ok::<(), mot3d_sim::SimError>(())
 /// ```
 #[derive(Debug, Default)]
 pub struct ClusterPool {
-    clusters: FnvHashMap<SimConfig, Cluster>,
+    clusters: FnvHashMap<SimConfig, PooledCluster>,
+    /// Monotonic run counter backing the LRU order.
+    tick: u64,
+    /// Maximum cached configurations (`None` = unbounded, the default).
+    capacity: Option<usize>,
 }
 
 impl ClusterPool {
-    /// An empty pool.
+    /// An empty, unbounded pool (today's default behaviour).
     pub fn new() -> Self {
         ClusterPool::default()
+    }
+
+    /// An empty pool that caches at most `capacity` configurations,
+    /// evicting the least recently used on overflow. A capacity of 0
+    /// caches nothing (every run builds a fresh cluster).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ClusterPool {
+            capacity: Some(capacity),
+            ..ClusterPool::default()
+        }
+    }
+
+    /// The current capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Changes the capacity bound, evicting least-recently-used
+    /// clusters immediately if the pool already exceeds it. `None`
+    /// removes the bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        if let Some(cap) = capacity {
+            self.shrink_to(cap);
+        }
     }
 
     /// Number of distinct configurations currently cached.
@@ -71,34 +121,53 @@ impl ClusterPool {
         self.clusters.is_empty()
     }
 
+    /// Whether a cluster for `config` is currently cached (test and
+    /// instrumentation hook; a miss is not an error).
+    pub fn contains(&self, config: &SimConfig) -> bool {
+        self.clusters.contains_key(config)
+    }
+
     /// Drops every cached cluster (frees their cache arrays).
     pub fn clear(&mut self) {
         self.clusters.clear();
     }
 
-    /// Drops cached clusters until at most `n` configurations remain.
+    /// Drops least-recently-used clusters until at most `n`
+    /// configurations remain.
     ///
-    /// Which clusters survive is unspecified (the cache is a hash map);
-    /// correctness never depends on it — a dropped configuration is
-    /// simply rebuilt on its next run, bit-identically. Call this
+    /// Correctness never depends on which clusters survive — a dropped
+    /// configuration is simply rebuilt on its next run, bit-identically
+    /// — but the order is deterministic: least recent first. Call this
     /// between the phases of a long ad-hoc sweep so the pool does not
     /// hold every configuration it has ever seen alive (see the
-    /// type-level docs).
+    /// type-level docs), or set a capacity once instead.
     pub fn shrink_to(&mut self, n: usize) {
         if n == 0 {
             self.clusters.clear();
             return;
         }
         while self.clusters.len() > n {
-            let Some(&key) = self.clusters.keys().next() else {
-                return;
-            };
+            self.evict_lru();
+        }
+    }
+
+    /// Removes the entry with the smallest recency tick. Ticks are
+    /// strictly increasing, so the minimum is unique and the choice is
+    /// deterministic whatever the map's iteration order.
+    fn evict_lru(&mut self) {
+        let lru = self
+            .clusters
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(&key, _)| key);
+        if let Some(key) = lru {
             self.clusters.remove(&key);
         }
     }
 
     /// Runs a workload spec on a cluster configuration to completion,
-    /// reusing (or creating) the pooled cluster for that configuration.
+    /// reusing (or creating) the pooled cluster for that configuration
+    /// and marking it most recently used.
     ///
     /// # Errors
     ///
@@ -110,14 +179,41 @@ impl ClusterPool {
     ) -> Result<Metrics, SimError> {
         let active = config.power_state.active_cores();
         let fresh = streams(spec, active, config.seed);
+        self.tick += 1;
+        let tick = self.tick;
+        if self.capacity == Some(0) {
+            // Degenerate bound: never cache, run on a throwaway cluster.
+            let mut cluster = Cluster::new(*config, fresh)?;
+            return Self::finish_run(&mut cluster, spec, config);
+        }
         let cluster = match self.clusters.entry(*config) {
             Entry::Occupied(e) => {
-                let cluster = e.into_mut();
-                cluster.reset(fresh)?;
-                cluster
+                let entry = e.into_mut();
+                entry.cluster.reset(fresh)?;
+                entry.last_used = tick;
+                &mut entry.cluster
             }
-            Entry::Vacant(v) => v.insert(Cluster::new(*config, fresh)?),
+            Entry::Vacant(v) => {
+                let entry = v.insert(PooledCluster {
+                    cluster: Cluster::new(*config, fresh)?,
+                    last_used: tick,
+                });
+                &mut entry.cluster
+            }
         };
+        let metrics = Self::finish_run(cluster, spec, config)?;
+        if let Some(cap) = self.capacity {
+            self.shrink_to(cap);
+        }
+        Ok(metrics)
+    }
+
+    /// Shared tail of a run: drive to completion, verify, label.
+    fn finish_run(
+        cluster: &mut Cluster,
+        spec: &WorkloadSpec,
+        config: &SimConfig,
+    ) -> Result<Metrics, SimError> {
         cluster.run_to_completion()?;
         cluster.verify_against_golden();
         Ok(cluster.metrics(format!(
@@ -208,6 +304,16 @@ pub fn shrink_local_pool(n: usize) {
     POOL.with(|pool| pool.borrow_mut().shrink_to(n));
 }
 
+/// Sets an LRU capacity bound on the calling thread's [`run_spec`]
+/// cluster cache (see [`ClusterPool::set_capacity`]; `None` restores
+/// the unbounded default). Long-running services whose worker threads
+/// execute arbitrary client configurations set this once per thread so
+/// the cache stays bounded for the life of the thread instead of
+/// requiring periodic shrinks.
+pub fn set_local_pool_capacity(capacity: Option<usize>) {
+    POOL.with(|pool| pool.borrow_mut().set_capacity(capacity));
+}
+
 /// Runs one of the eight SPLASH-2-style programs at a given length scale
 /// (1.0 = the default experiment length; tests use ≤ 0.01).
 ///
@@ -257,6 +363,73 @@ mod tests {
         }
         pool.shrink_to(0);
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let mut pool = ClusterPool::with_capacity(2);
+        let spec = tiny();
+        let full = SimConfig::date16();
+        let pc16 = SimConfig::date16().with_power_state(PowerState::pc16_mb8());
+        let pc4 = SimConfig::date16().with_power_state(PowerState::pc4_mb8());
+        pool.run_spec(&spec, &full).unwrap();
+        pool.run_spec(&spec, &pc16).unwrap();
+        assert_eq!(pool.len(), 2);
+        // Touch `full` again, then overflow: `pc16` is now the LRU entry.
+        pool.run_spec(&spec, &full).unwrap();
+        pool.run_spec(&spec, &pc4).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert!(pool.contains(&full));
+        assert!(pool.contains(&pc4));
+        assert!(!pool.contains(&pc16));
+    }
+
+    #[test]
+    fn capacity_changes_apply_immediately_and_zero_caches_nothing() {
+        let mut pool = ClusterPool::new();
+        assert_eq!(pool.capacity(), None);
+        let spec = tiny();
+        let configs = [
+            SimConfig::date16(),
+            SimConfig::date16().with_power_state(PowerState::pc16_mb8()),
+            SimConfig::date16().with_power_state(PowerState::pc4_mb8()),
+        ];
+        for c in &configs {
+            pool.run_spec(&spec, c).unwrap();
+        }
+        assert_eq!(pool.len(), 3);
+        pool.set_capacity(Some(1));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.contains(&configs[2]), "most recent entry survives");
+        pool.set_capacity(Some(0));
+        assert!(pool.is_empty());
+        // Capacity 0 still runs correctly, it just never caches.
+        let want = ClusterPool::new().run_spec(&spec, &configs[0]).unwrap();
+        let got = pool.run_spec(&spec, &configs[0]).unwrap();
+        assert_eq!(got, want);
+        assert!(pool.is_empty());
+        pool.set_capacity(None);
+        pool.run_spec(&spec, &configs[0]).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn capped_runs_are_bit_identical_to_uncapped() {
+        let spec = tiny();
+        let configs = [
+            SimConfig::date16(),
+            SimConfig::date16().with_power_state(PowerState::pc16_mb8()),
+            SimConfig::date16().with_dram(mot3d_mem::dram::DramKind::Weis3d),
+            SimConfig::date16(),
+        ];
+        let mut unbounded = ClusterPool::new();
+        let mut capped = ClusterPool::with_capacity(1);
+        for c in &configs {
+            let a = unbounded.run_spec(&spec, c).unwrap();
+            let b = capped.run_spec(&spec, c).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(capped.len(), 1);
     }
 
     #[test]
