@@ -384,10 +384,15 @@ pub fn run_cli(args: &[String]) -> i32 {
     for o in &outcomes {
         match (&o.failure, &o.fresh) {
             (None, Some(f)) => {
-                let wall = if opts.checksum_only {
+                let wall = if opts.checksum_only || f.wall_s <= 0.0 {
                     String::new()
                 } else {
-                    format!(" ({:.3}s vs {:.3}s)", f.wall_s, o.baseline.wall_s)
+                    format!(
+                        " {:.2}s -> {:.2}s ({:.2}x)",
+                        o.baseline.wall_s,
+                        f.wall_s,
+                        o.baseline.wall_s / f.wall_s
+                    )
                 };
                 println!("ok   {}: checksum {}{wall}", o.name, f.checksum);
             }

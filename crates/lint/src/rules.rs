@@ -11,6 +11,7 @@
 //! | D3 | no `Instant::now`/`SystemTime`/`env::var` outside bench timing/CLI modules |
 //! | A1 | `// mot3d-lint: no-alloc` regions must not allocate |
 //! | P1 | no `unwrap`/`expect`/`panic!` in library crates outside tests/`debug_assert`s |
+//! | H1 | no `BinaryHeap` in the simulator hot-path crates (`sim`/`noc`/`mem`) |
 //! | S1 | `mot3d-lint:` markers must parse and name known rules |
 //!
 //! Suppression: `// mot3d-lint: allow(<rules>) -- <reason>` on the
@@ -20,7 +21,7 @@
 use crate::lexer::{self, Directive, DirectiveKind, Tok, Token};
 
 /// The known rule ids, in report order.
-pub const RULES: [&str; 6] = ["D1", "D2", "D3", "A1", "P1", "S1"];
+pub const RULES: [&str; 7] = ["D1", "D2", "D3", "A1", "P1", "H1", "S1"];
 
 /// One-line rationale shown with every finding of a rule.
 pub fn rationale(rule: &str) -> &'static str {
@@ -46,6 +47,11 @@ pub fn rationale(rule: &str) -> &'static str {
         "P1" => {
             "library panics abort a whole sweep service; return an error (or \
              suppress with the invariant that makes the panic unreachable)"
+        }
+        "H1" => {
+            "the event queues here were migrated to mot3d_phys::wheel::TimingWheel \
+             (O(1) schedule/pop, exact (time, seq) order); a BinaryHeap quietly \
+             reintroduces the O(log n) sift the wheel replaced"
         }
         "S1" => {
             "a marker that does not parse silently disables enforcement; fix the \
@@ -104,6 +110,10 @@ const METRICS_PATHS: [&str; 5] = [
     "crates/bench/src/experiments.rs",
 ];
 
+/// The simulator hot-path crates where H1 bans `BinaryHeap` — their
+/// event queues ride `mot3d_phys::wheel::TimingWheel` now.
+const H1_CRATES: [&str; 3] = ["sim", "noc", "mem"];
+
 /// The bench/serve timing/CLI modules, exempt from D3 — the one place
 /// wall-clock and environment reads are part of the job.
 const D3_EXEMPT: [&str; 6] = [
@@ -135,6 +145,7 @@ struct Scope {
     d2: bool,
     d3: bool,
     p1: bool,
+    h1: bool,
 }
 
 fn scope_of(rel: &str) -> Scope {
@@ -154,6 +165,9 @@ fn scope_of(rel: &str) -> Scope {
         d2: METRICS_PATHS.contains(&rel),
         d3: !D3_EXEMPT.contains(&rel),
         p1: result_crate,
+        h1: H1_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
     }
 }
 
@@ -203,6 +217,11 @@ pub fn check_file(rel: &str, src: &str) -> FileReport {
         // D1 — default-hasher collections in result-affecting crates.
         if scope.d1 && matches!(name.as_str(), "HashMap" | "HashSet") {
             push(t.line, "D1", format!("default-hasher `{name}`"));
+        }
+
+        // H1 — BinaryHeap in the simulator hot-path crates.
+        if scope.h1 && name == "BinaryHeap" {
+            push(t.line, "H1", "`BinaryHeap` use".to_string());
         }
 
         // D2 — iteration in hash order on metrics/report paths.
@@ -668,6 +687,37 @@ mod tests {
             rules_hit(SIM, "fn ok() {} // mot3d-lint: allow(S1) -- sneaky\n"),
             [("S1", 1)]
         );
+    }
+
+    #[test]
+    fn h1_flags_binary_heap_in_hot_path_crates_only() {
+        let src = "use std::collections::BinaryHeap;\n\
+                   struct Q { events: BinaryHeap<u64> }\n";
+        assert_eq!(rules_hit(SIM, src), [("H1", 1), ("H1", 2)]);
+        assert_eq!(
+            rules_hit("crates/noc/src/network.rs", src),
+            [("H1", 1), ("H1", 2)]
+        );
+        assert_eq!(
+            rules_hit("crates/mem/src/bus.rs", src),
+            [("H1", 1), ("H1", 2)]
+        );
+        // phys hosts the wheel itself; bench/tests are out of scope.
+        assert_eq!(rules_hit("crates/phys/src/wheel.rs", src), []);
+        assert_eq!(rules_hit("crates/bench/src/plan.rs", src), []);
+        assert_eq!(rules_hit("crates/sim/tests/properties.rs", src), []);
+    }
+
+    #[test]
+    fn h1_suppression_requires_a_reason() {
+        let ok = "// mot3d-lint: allow(H1) -- differential reference for the wheel\n\
+                  use std::collections::BinaryHeap;\n";
+        let r = check_file(SIM, ok);
+        assert!(r.findings.is_empty());
+        assert_eq!(r.suppressed, 1);
+        let bare = "use std::collections::BinaryHeap; // mot3d-lint: allow(H1)\n";
+        let hit = rules_hit(SIM, bare);
+        assert!(hit.contains(&("H1", 1)) && hit.contains(&("S1", 1)));
     }
 
     #[test]

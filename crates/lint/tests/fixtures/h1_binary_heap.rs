@@ -1,0 +1,26 @@
+//@ path: crates/sim/src/fixture.rs
+//@ suppressed: 1
+//! Seeded H1 violations: `BinaryHeap` back in a hot-path crate after the
+//! timing-wheel migration.
+
+use std::collections::BinaryHeap; //~ H1
+use std::cmp::Reverse;
+
+fn rebuild_queue() -> BinaryHeap<Reverse<(u64, u64)>> { //~ H1
+    let mut q = BinaryHeap::new(); //~ H1
+    q.push(Reverse((3, 0)));
+    q
+}
+
+// Mentions inside comments are invisible to the scanner: BinaryHeap.
+fn doc() -> &'static str {
+    "BinaryHeap::new() inside a string is invisible too"
+}
+
+// The wheel is the sanctioned queue, so it passes clean.
+fn sanctioned() -> mot3d_phys::wheel::TimingWheel<u64> {
+    mot3d_phys::wheel::TimingWheel::new()
+}
+
+// mot3d-lint: allow(H1) -- fixture: reference heap for a differential test
+type ReferenceQueue = BinaryHeap<u8>;

@@ -187,6 +187,24 @@ const FLAG_VALID: u8 = 1 << 0;
 /// Way-slot flag bit: the line has been written since fill.
 const FLAG_DIRTY: u8 = 1 << 1;
 
+/// A resolved `(set, way)` slot of a resident line.
+///
+/// The hot transaction paths resolve a line's slot once with
+/// [`SetAssocCache::find`] (or get it back from
+/// [`SetAssocCache::fill_slot`]) and then use the `*_at` accessors,
+/// instead of paying the associative tag scan again for every
+/// `peek`/`payload`/`read`/`write` on the same line.
+///
+/// A handle is a plain coordinate, not a lock: it stays valid only while
+/// the line stays resident. Any intervening `fill`/`invalidate`/`clear`
+/// on the same cache may repurpose the slot, after which the handle must
+/// be re-resolved (the `*_at` accessors `debug_assert` validity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotHandle {
+    set: u32,
+    way: u32,
+}
+
 /// A set-associative cache with per-line payloads.
 ///
 /// ## Layout
@@ -330,6 +348,19 @@ impl<P: Default + Clone> SetAssocCache<P> {
     /// eviction).
     // mot3d-lint: no-alloc
     pub fn fill(&mut self, line: LineAddr, data: u64, dirty: bool) -> Option<EvictedLine<P>> {
+        self.fill_slot(line, data, dirty).1
+    }
+
+    /// [`SetAssocCache::fill`] that also hands back the filled line's
+    /// [`SlotHandle`], so refill paths can keep accessing the line
+    /// without re-probing the tags.
+    // mot3d-lint: no-alloc
+    pub fn fill_slot(
+        &mut self,
+        line: LineAddr,
+        data: u64,
+        dirty: bool,
+    ) -> (SlotHandle, Option<EvictedLine<P>>) {
         let set = self.set_index(line);
         self.stats.fills += 1;
         if let Some(slot) = self.find_slot(set, line) {
@@ -337,8 +368,15 @@ impl<P: Default + Clone> SetAssocCache<P> {
             if dirty {
                 self.flags[slot] |= FLAG_DIRTY;
             }
-            self.replacer.fill(set, slot - self.base(set));
-            return None;
+            let way = slot - self.base(set);
+            self.replacer.fill(set, way);
+            return (
+                SlotHandle {
+                    set: set as u32,
+                    way: way as u32,
+                },
+                None,
+            );
         }
         let base = self.base(set);
         let valid = &self.flags[base..base + self.ways];
@@ -358,7 +396,88 @@ impl<P: Default + Clone> SetAssocCache<P> {
         self.data[slot] = data;
         self.payloads[slot] = P::default();
         self.replacer.fill(set, way);
-        evicted
+        (
+            SlotHandle {
+                set: set as u32,
+                way: way as u32,
+            },
+            evicted,
+        )
+    }
+
+    /// Resolves a resident line to its [`SlotHandle`] without touching
+    /// replacement state or counters (like [`SetAssocCache::peek`], this
+    /// is not an access — the handle-taking accessors do the per-access
+    /// bookkeeping).
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn find(&self, line: LineAddr) -> Option<SlotHandle> {
+        let set = self.set_index(line);
+        self.find_slot(set, line).map(|slot| SlotHandle {
+            set: set as u32,
+            way: (slot - self.base(set)) as u32,
+        })
+    }
+
+    /// Flat array index of a handle's slot.
+    #[inline]
+    fn slot_of(&self, h: SlotHandle) -> usize {
+        debug_assert!(
+            self.flags[h.set as usize * self.ways + h.way as usize] & FLAG_VALID != 0,
+            "stale SlotHandle: slot no longer holds a valid line"
+        );
+        h.set as usize * self.ways + h.way as usize
+    }
+
+    /// Reads through a resolved handle: touches LRU state, counts a read
+    /// hit, returns the data token — identical side effects to a hitting
+    /// [`SetAssocCache::read`].
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn read_at(&mut self, h: SlotHandle) -> u64 {
+        let slot = self.slot_of(h);
+        self.replacer.touch(h.set as usize, h.way as usize);
+        self.stats.read_hits += 1;
+        self.data[slot]
+    }
+
+    /// Writes through a resolved handle: touches LRU state, counts a
+    /// write hit, stores the token, sets dirty — identical side effects
+    /// to a hitting [`SetAssocCache::write`].
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn write_at(&mut self, h: SlotHandle, data: u64) {
+        let slot = self.slot_of(h);
+        self.replacer.touch(h.set as usize, h.way as usize);
+        self.stats.write_hits += 1;
+        self.data[slot] = data;
+        self.flags[slot] |= FLAG_DIRTY;
+    }
+
+    /// Data token and dirty bit through a resolved handle, without
+    /// touching replacement state or counters (the handle analogue of
+    /// [`SetAssocCache::peek`]).
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn peek_at(&self, h: SlotHandle) -> (u64, bool) {
+        let slot = self.slot_of(h);
+        (self.data[slot], self.flags[slot] & FLAG_DIRTY != 0)
+    }
+
+    /// Shared payload access through a resolved handle.
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn payload_at(&self, h: SlotHandle) -> &P {
+        let slot = self.slot_of(h);
+        &self.payloads[slot]
+    }
+
+    /// Mutable payload access through a resolved handle.
+    // mot3d-lint: no-alloc
+    #[inline]
+    pub fn payload_at_mut(&mut self, h: SlotHandle) -> &mut P {
+        let slot = self.slot_of(h);
+        &mut self.payloads[slot]
     }
 
     /// Looks at a line without touching replacement state or counters.
@@ -599,6 +718,71 @@ mod tests {
             SetAssocCache::<()>::new(bad2),
             Err(CacheConfigError::NotPowerOfTwo("line_bytes", 24))
         ));
+    }
+
+    #[test]
+    fn handle_ops_match_line_ops_side_effects() {
+        // Drive one cache through line ops and a twin through handle
+        // ops: stats, dirty bits, and LRU victim choice must agree.
+        let mut by_line = l1();
+        let mut by_handle = l1();
+        let sets = by_line.config().sets() as u64;
+        let lines: Vec<LineAddr> = (0..4).map(|i| LineAddr(9 + i * sets)).collect();
+        for (i, &line) in lines.iter().enumerate() {
+            by_line.fill(line, i as u64, false);
+            let (h, ev) = by_handle.fill_slot(line, i as u64, false);
+            assert!(ev.is_none());
+            assert_eq!(by_handle.find(line), Some(h));
+        }
+        assert_eq!(by_line.read(lines[0]), Some(0));
+        let h0 = by_handle.find(lines[0]).unwrap();
+        assert_eq!(by_handle.read_at(h0), 0);
+        assert!(by_line.write(lines[1], 77));
+        let h1 = by_handle.find(lines[1]).unwrap();
+        by_handle.write_at(h1, 77);
+        assert_eq!(by_handle.peek_at(h1), (77, true));
+        assert_eq!(by_line.stats(), by_handle.stats());
+        // Same victim on the next conflict fill.
+        let newcomer = LineAddr(9 + 4 * sets);
+        let ev_line = by_line.fill(newcomer, 5, false).unwrap();
+        let (_, ev_handle) = by_handle.fill_slot(newcomer, 5, false);
+        let ev_handle = ev_handle.unwrap();
+        assert_eq!(ev_line.addr, ev_handle.addr);
+        assert_eq!(ev_line.dirty, ev_handle.dirty);
+    }
+
+    #[test]
+    fn fill_slot_handle_points_at_the_line() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(CacheConfig::l2_bank_date16()).unwrap();
+        let line = LineAddr(0x1234);
+        let (h, _) = c.fill_slot(line, 11, false);
+        assert_eq!(c.find(line), Some(h));
+        assert_eq!(c.peek_at(h), (11, false));
+        *c.payload_at_mut(h) = 42;
+        assert_eq!(c.payload(line), Some(&42));
+        assert_eq!(c.payload_at(h), &42);
+        // Refilling an already-resident line returns the same slot.
+        let (h2, ev) = c.fill_slot(line, 12, true);
+        assert_eq!(h2, h);
+        assert!(ev.is_none());
+        assert_eq!(c.peek_at(h), (12, true));
+    }
+
+    #[test]
+    fn find_does_not_touch_stats_or_lru() {
+        let mut c = l1();
+        let sets = c.config().sets() as u64;
+        let lines: Vec<LineAddr> = (0..5).map(|i| LineAddr(3 + i * sets)).collect();
+        for &line in lines.iter().take(4) {
+            c.fill(line, 0, false);
+        }
+        let stats_before = *c.stats();
+        assert!(c.find(lines[0]).is_some());
+        assert!(c.find(LineAddr(0xdead_0000)).is_none());
+        assert_eq!(*c.stats(), stats_before);
+        // lines[0] was only `find`-ed, not touched: still the LRU victim.
+        let ev = c.fill(lines[4], 0, false).unwrap();
+        assert_eq!(ev.addr, lines[0]);
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct MotNetwork {
     /// Requests in transit, ordered by injection (FIFO per same latency;
     /// a ring buffer, so steady-state pushes never allocate).
     transit_req: VecDeque<InFlight>,
+    /// `arrives_at` of `transit_req`'s front (`u64::MAX` when empty),
+    /// mirrored inline so the per-step `tick`/`next_activity` polls read
+    /// one field instead of dereferencing the ring buffer. The fixed
+    /// per-network request latency keeps the front the minimum.
+    next_req_land: u64,
+    /// Delivery time of `transit_resp`'s front (`u64::MAX` when empty);
+    /// same inline mirror, for the response ring.
+    next_resp_land: u64,
     /// Per-(bank, core) head-of-line queues awaiting the bank grant: one
     /// FIFO list per `bank * cores + core` over a single contiguous node
     /// slab, instead of banks × cores separate `VecDeque` allocations.
@@ -80,6 +88,10 @@ pub struct MotNetwork {
     /// skips idle banks and feeds [`ArbitrationTree::grant_mask`] without
     /// rebuilding a bitmap.
     wait_mask: Vec<u32>,
+    /// Bank-level occupancy bitmap (bit `bank` set while `wait_mask[bank]`
+    /// is non-zero): the grant loop walks only the set bits instead of
+    /// scanning every bank's mask each tick.
+    bank_busy: u64,
     /// Core count (list-index stride into `waiting`).
     cores: usize,
     /// Per-bank arbitration trees over cores.
@@ -112,13 +124,20 @@ impl MotNetwork {
         let banks = topology.banks();
         let cores = topology.cores();
         assert!(cores <= 32, "wait masks hold at most 32 cores per bank");
+        assert!(
+            banks <= 64,
+            "the bank occupancy bitmap holds at most 64 banks"
+        );
         Ok(MotNetwork {
             cfg,
             latency,
             energy_model,
             transit_req: VecDeque::new(),
+            next_req_land: u64::MAX,
+            next_resp_land: u64::MAX,
             waiting: FifoSlab::new(banks * cores),
             wait_mask: vec![0; banks],
+            bank_busy: 0,
             cores,
             arbiters: (0..banks).map(|_| ArbitrationTree::new(cores)).collect(),
             arrivals: VecDeque::new(),
@@ -175,58 +194,67 @@ impl Interconnect for MotNetwork {
 
         // 1. Land transits whose time has come at their bank's wait queue.
         let cores = self.cores;
-        while let Some(front) = self.transit_req.front() {
-            if front.arrives_at > now {
-                break;
+        if self.next_req_land <= now {
+            while let Some(front) = self.transit_req.front() {
+                if front.arrives_at > now {
+                    break;
+                }
+                // mot3d-lint: allow(P1) -- front() returned Some on this very queue
+                let f = self.transit_req.pop_front().expect("checked non-empty");
+                self.waiting.push_back(f.bank * cores + f.request.core, f);
+                self.wait_mask[f.bank] |= 1 << f.request.core;
+                self.bank_busy |= 1 << f.bank;
             }
-            // mot3d-lint: allow(P1) -- front() returned Some on this very queue
-            let f = self.transit_req.pop_front().expect("checked non-empty");
-            self.waiting.push_back(f.bank * cores + f.request.core, f);
-            self.wait_mask[f.bank] |= 1 << f.request.core;
+            self.next_req_land = self.transit_req.front().map_or(u64::MAX, |f| f.arrives_at);
         }
 
         // 2. One grant per bank per cycle, round-robin over cores. Only
-        // banks with waiters are visited, and each grant works on the
-        // bank's incrementally-maintained request bitmask — this is the
-        // simulator's hottest loop.
-        if self.waiting.total_len() > 0 {
-            for bank in 0..self.wait_mask.len() {
-                if self.wait_mask[bank] == 0 {
-                    continue;
-                }
-                if let Some(core) = self.arbiters[bank].grant_mask(self.wait_mask[bank]) {
-                    let f = self
-                        .waiting
-                        .pop_front(bank * cores + core)
-                        // mot3d-lint: allow(P1) -- wait_mask bit set ⇒ queue non-empty (tick keeps them in lockstep)
-                        .expect("granted core has a waiting request");
-                    if self.waiting.is_empty(bank * cores + core) {
-                        self.wait_mask[bank] &= !(1 << core);
+        // banks with waiters are visited — the occupancy bitmap walk hits
+        // exactly the banks the full ascending scan would, in the same
+        // order — and each grant works on the bank's incrementally-
+        // maintained request bitmask: this is the simulator's hottest loop.
+        let mut busy = self.bank_busy;
+        while busy != 0 {
+            let bank = busy.trailing_zeros() as usize;
+            busy &= busy - 1;
+            if let Some(core) = self.arbiters[bank].grant_mask(self.wait_mask[bank]) {
+                let f = self
+                    .waiting
+                    .pop_front(bank * cores + core)
+                    // mot3d-lint: allow(P1) -- wait_mask bit set ⇒ queue non-empty (tick keeps them in lockstep)
+                    .expect("granted core has a waiting request");
+                if self.waiting.is_empty(bank * cores + core) {
+                    self.wait_mask[bank] &= !(1 << core);
+                    if self.wait_mask[bank] == 0 {
+                        self.bank_busy &= !(1u64 << bank);
                     }
-                    let transit = now.saturating_sub(f.injected_at);
-                    self.stats.total_request_latency += transit;
-                    self.stats.max_request_latency = self.stats.max_request_latency.max(transit);
-                    self.arrivals.push_back(BankArrival {
-                        request: f.request,
-                        bank,
-                        at_cycle: now,
-                    });
                 }
+                let transit = now.saturating_sub(f.injected_at);
+                self.stats.total_request_latency += transit;
+                self.stats.max_request_latency = self.stats.max_request_latency.max(transit);
+                self.arrivals.push_back(BankArrival {
+                    request: f.request,
+                    bank,
+                    at_cycle: now,
+                });
             }
         }
 
         // 3. Deliver responses whose transit elapsed.
-        while let Some((at, _)) = self.transit_resp.front() {
-            if *at > now {
-                break;
+        if self.next_resp_land <= now {
+            while let Some((at, _)) = self.transit_resp.front() {
+                if *at > now {
+                    break;
+                }
+                // mot3d-lint: allow(P1) -- front() returned Some on this very queue
+                let (at, response) = self.transit_resp.pop_front().expect("checked non-empty");
+                self.stats.responses += 1;
+                self.deliveries.push_back(CoreDelivery {
+                    response,
+                    at_cycle: at,
+                });
             }
-            // mot3d-lint: allow(P1) -- front() returned Some on this very queue
-            let (at, response) = self.transit_resp.pop_front().expect("checked non-empty");
-            self.stats.responses += 1;
-            self.deliveries.push_back(CoreDelivery {
-                response,
-                at_cycle: at,
-            });
+            self.next_resp_land = self.transit_resp.front().map_or(u64::MAX, |(at, _)| *at);
         }
     }
 
@@ -244,10 +272,12 @@ impl Interconnect for MotNetwork {
         let bank = self.cfg.remap_bank(request.home_bank);
         self.stats.requests += 1;
         self.dynamic_energy += self.energy_model.request_energy(request.kind);
+        let arrives_at = now + self.latency.request_cycles;
+        self.next_req_land = self.next_req_land.min(arrives_at);
         self.transit_req.push_back(InFlight {
             request,
             injected_at: now,
-            arrives_at: now + self.latency.request_cycles,
+            arrives_at,
             bank,
         });
     }
@@ -263,8 +293,9 @@ impl Interconnect for MotNetwork {
             response.bank
         );
         self.dynamic_energy += self.energy_model.response_energy(response.kind);
-        self.transit_resp
-            .push_back((now + self.latency.response_cycles, response));
+        let at = now + self.latency.response_cycles;
+        self.next_resp_land = self.next_resp_land.min(at);
+        self.transit_resp.push_back((at, response));
     }
 
     fn pop_delivery(&mut self) -> Option<CoreDelivery> {
@@ -277,24 +308,20 @@ impl Interconnect for MotNetwork {
         // are FIFO with a fixed latency, so the front is the minimum) or
         // response delivery decides. Pending arrivals/deliveries count as
         // immediate activity — the caller has not consumed them yet.
-        if !self.arrivals.is_empty() || !self.deliveries.is_empty() || self.waiting.total_len() > 0
-        {
+        if !self.arrivals.is_empty() || !self.deliveries.is_empty() || self.bank_busy != 0 {
             return Some(now);
         }
-        let req = self.transit_req.front().map(|f| f.arrives_at);
-        let resp = self.transit_resp.front().map(|(at, _)| *at);
-        match (req, resp) {
-            (Some(a), Some(b)) => Some(a.min(b).max(now)),
-            (Some(a), None) => Some(a.max(now)),
-            (None, Some(b)) => Some(b.max(now)),
-            (None, None) => None,
-        }
+        let t = self.next_req_land.min(self.next_resp_land);
+        (t != u64::MAX).then(|| t.max(now))
     }
 
     fn reset(&mut self) {
         self.transit_req.clear();
+        self.next_req_land = u64::MAX;
+        self.next_resp_land = u64::MAX;
         self.waiting.clear();
         self.wait_mask.fill(0);
+        self.bank_busy = 0;
         for arb in &mut self.arbiters {
             arb.reset();
         }

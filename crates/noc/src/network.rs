@@ -9,8 +9,7 @@
 //! at L1-miss traffic loads the port-occupancy model matches it closely,
 //! and it keeps the engine exact and fast.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::packet::{Packet, Payload};
 use crate::params::NocParams;
@@ -20,10 +19,11 @@ use mot3d_mot::traits::{
 };
 use mot3d_phys::geometry::Floorplan;
 use mot3d_phys::units::{Joules, Watts};
+use mot3d_phys::wheel::TimingWheel;
 use mot3d_phys::Technology;
 
 /// Where a scheduled event takes place.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Loc {
     /// Packet is at a router, ready for its next hop decision.
     AtRouter(usize),
@@ -33,24 +33,11 @@ enum Loc {
     DeliverCore(usize),
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A packet at a location; the wheel supplies the time and tie order.
+#[derive(Debug, Clone, Copy)]
 struct Event {
-    time: u64,
-    seq: u64,
     loc: Loc,
     packet: Packet,
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// A packet-switched baseline interconnect.
@@ -75,8 +62,9 @@ pub struct NocNetwork {
     topo: Topology,
     params: NocParams,
     name: String,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    /// Pending packet events, popped in exact `(time, seq)` order (the
+    /// wheel owns the sequence numbering).
+    events: TimingWheel<Event>,
     /// Next-free cycle of each directed router→router port, as a flat
     /// `routers × routers` table indexed `from * routers + to` — a plain
     /// load on the forwarding hot path where a `HashMap<(usize, usize),
@@ -106,8 +94,7 @@ impl NocNetwork {
             topo,
             params,
             name: kind.to_string(),
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: TimingWheel::new(),
             port_free: vec![0; routers * routers].into_boxed_slice(),
             routers,
             bus_free: vec![0; buses],
@@ -135,13 +122,7 @@ impl NocNetwork {
     }
 
     fn push(&mut self, time: u64, loc: Loc, packet: Packet) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            loc,
-            packet,
-        }));
+        self.events.schedule(time, Event { loc, packet });
     }
 
     /// Boards a bus: waits for the bus to free, transfers the whole
@@ -171,8 +152,7 @@ impl NocNetwork {
         self.push(start + self.params.link_cycles, Loc::AtRouter(to), packet);
     }
 
-    fn handle(&mut self, ev: Event) {
-        let t = ev.time;
+    fn handle(&mut self, t: u64, ev: Event) {
         match ev.loc {
             Loc::AtRouter(r) => {
                 let hop = match ev.packet.payload {
@@ -273,13 +253,8 @@ impl Interconnect for NocNetwork {
     }
 
     fn tick(&mut self, now: u64) {
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.time > now {
-                break;
-            }
-            // mot3d-lint: allow(P1) -- peek() returned Some on this very heap
-            let Reverse(ev) = self.events.pop().expect("peeked event exists");
-            self.handle(ev);
+        while let Some((t, ev)) = self.events.pop_due(now) {
+            self.handle(t, ev);
         }
     }
 
@@ -342,12 +317,11 @@ impl Interconnect for NocNetwork {
         if !self.arrivals.is_empty() || !self.deliveries.is_empty() {
             return Some(now);
         }
-        self.events.peek().map(|Reverse(ev)| ev.time.max(now))
+        self.events.next_time().map(|t| t.max(now))
     }
 
     fn reset(&mut self) {
         self.events.clear();
-        self.seq = 0;
         self.port_free.fill(0);
         self.bus_free.fill(0);
         self.arrivals.clear();

@@ -1,0 +1,144 @@
+//! Timing-wheel schedule/pop throughput vs the `BinaryHeap` it
+//! replaced, over the event-horizon mixes the simulator generates.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mot3d_phys::wheel::TimingWheel;
+
+/// Deterministic xorshift for horizon mixes (no `rand` in the tree).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// ~90% near-future hops (1–16 cycles), ~9% DRAM-range (100–400),
+/// ~1% far-future (beyond one level-0 window) — the wake-hint shape.
+fn mixed_delta(rng: &mut XorShift) -> u64 {
+    let r = rng.next();
+    match r % 100 {
+        0 => 4_000 + (r >> 8) % 60_000,
+        1..=9 => 100 + (r >> 8) % 300,
+        _ => 1 + (r >> 8) % 16,
+    }
+}
+
+fn bench_wheel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wheel");
+
+    // Steady-state churn at a fixed queue depth: each iteration pops
+    // the earliest event and schedules a replacement — the simulator's
+    // inner loop.
+    const DEPTH: usize = 64;
+
+    g.bench_function("churn_near_wheel", |b| {
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        let mut now = 0u64;
+        for i in 0..DEPTH as u64 {
+            w.schedule(1 + i % 16, i);
+        }
+        b.iter(|| {
+            let (t, item) = w.pop_due(u64::MAX).unwrap();
+            now = t;
+            w.schedule(now + 1 + (rng.next() >> 8) % 16, item);
+            black_box(item)
+        })
+    });
+
+    g.bench_function("churn_near_heap", |b| {
+        let mut h: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+        let mut seq = 0u64;
+        for i in 0..DEPTH as u64 {
+            seq += 1;
+            h.push(Reverse((1 + i % 16, seq, i)));
+        }
+        b.iter(|| {
+            let Reverse((t, _, item)) = h.pop().unwrap();
+            seq += 1;
+            h.push(Reverse((t + 1 + (rng.next() >> 8) % 16, seq, item)));
+            black_box(item)
+        })
+    });
+
+    g.bench_function("churn_mixed_wheel", |b| {
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        let mut rng = XorShift(0x2545_f491_4f6c_dd1d);
+        for i in 0..DEPTH as u64 {
+            w.schedule(mixed_delta(&mut rng), i);
+        }
+        let mut now = 0u64;
+        b.iter(|| {
+            let (t, item) = w.pop_due(u64::MAX).unwrap();
+            now = t;
+            w.schedule(now + mixed_delta(&mut rng), item);
+            black_box(item)
+        })
+    });
+
+    g.bench_function("churn_mixed_heap", |b| {
+        let mut h: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut rng = XorShift(0x2545_f491_4f6c_dd1d);
+        let mut seq = 0u64;
+        for i in 0..DEPTH as u64 {
+            seq += 1;
+            h.push(Reverse((mixed_delta(&mut rng), seq, i)));
+        }
+        b.iter(|| {
+            let Reverse((t, _, item)) = h.pop().unwrap();
+            seq += 1;
+            h.push(Reverse((t + mixed_delta(&mut rng), seq, item)));
+            black_box(item)
+        })
+    });
+
+    // Pure scheduling throughput: fill-then-clear batches.
+    g.bench_function("schedule_burst_wheel", |b| {
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        let mut rng = XorShift(0xdead_beef_cafe_f00d);
+        b.iter(|| {
+            for i in 0..256u64 {
+                w.schedule(mixed_delta(&mut rng), i);
+            }
+            w.clear();
+        })
+    });
+
+    g.bench_function("schedule_burst_heap", |b| {
+        let mut h: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+        let mut rng = XorShift(0xdead_beef_cafe_f00d);
+        let mut seq = 0u64;
+        b.iter(|| {
+            for i in 0..256u64 {
+                seq += 1;
+                h.push(Reverse((mixed_delta(&mut rng), seq, i)));
+            }
+            h.clear();
+        })
+    });
+
+    // Exact-peek cost (the `next_activity` hint path).
+    g.bench_function("peek_next_time", |b| {
+        let mut w: TimingWheel<u64> = TimingWheel::new();
+        let mut rng = XorShift(0x0123_4567_89ab_cdef);
+        for i in 0..DEPTH as u64 {
+            w.schedule(mixed_delta(&mut rng), i);
+        }
+        b.iter(|| black_box(w.next_time()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_wheel);
+criterion_main!(benches);

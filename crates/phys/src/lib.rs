@@ -19,6 +19,10 @@
 //! * [`slab`] — allocation-free hot-path containers (multi-queue
 //!   [`slab::FifoSlab`], generational-handle [`slab::GenSlab`]) shared by
 //!   the simulator crates above this one;
+//! * [`wheel`] — the hierarchical [`wheel::TimingWheel`] event queue
+//!   popping in exact `(time, seq)` order: the `O(1)`
+//!   schedule/peek/pop replacement for the simulator's former
+//!   `BinaryHeap` queues (`mot3d-lint` rule H1);
 //! * [`fnv`] — deterministic FNV-1a hashing ([`fnv::FnvHashMap`],
 //!   [`fnv::FnvHashSet`]): the sanctioned hash collections for
 //!   result-affecting crates (`mot3d-lint` rule D1).
@@ -52,5 +56,6 @@ pub mod sram;
 pub mod technology;
 pub mod tsv;
 pub mod units;
+pub mod wheel;
 
 pub use technology::Technology;

@@ -36,15 +36,12 @@
 //! effects the paper evaluates; the golden-memory oracle validates the
 //! end-to-end result, including across runtime bank power-gating flushes.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use crate::config::{InterconnectChoice, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{LatencyStats, Metrics};
 use mot3d_mem::addr::{AddressMap, LineAddr};
 use mot3d_mem::bus::{MissBus, Transfer};
-use mot3d_mem::cache::{CacheConfig, SetAssocCache};
+use mot3d_mem::cache::{CacheConfig, SetAssocCache, SlotHandle};
 use mot3d_mem::coherence::Directory;
 use mot3d_mem::dram::{Dram, DramTiming};
 use mot3d_mem::golden::GoldenMemory;
@@ -58,6 +55,7 @@ use mot3d_phys::geometry::Floorplan;
 use mot3d_phys::power::{CorePowerModel, DramEnergyModel, EnergyBreakdown};
 use mot3d_phys::slab::GenSlab;
 use mot3d_phys::sram::{SramBank, SramConfig};
+use mot3d_phys::wheel::TimingWheel;
 use mot3d_phys::Technology;
 use mot3d_workloads::{CoreStream, Op, StreamOp};
 
@@ -122,7 +120,7 @@ struct Tx {
     value: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Action {
     /// L2 tag check done on a miss: start the Miss-bus transfer.
     BusEnqueue { bank: usize, tag: u64 },
@@ -137,25 +135,6 @@ enum Action {
     },
     /// Instruction refill arrived at the core.
     IFetchDone { core_idx: usize },
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Scheduled {
-    at: u64,
-    seq: u64,
-    action: Action,
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 /// The interconnect under test, dispatched statically: the hot loop
@@ -291,6 +270,11 @@ pub struct Cluster {
     /// `Computing` deadlines, indexed by core (valid where
     /// `computing_mask` is set).
     until: Vec<u64>,
+    /// Exact minimum of `until[i]` over computing cores (`u64::MAX` when
+    /// none compute). `next_wake` runs every step and must not rescan the
+    /// mask; `set_status` folds new deadlines in and rebuilds only when
+    /// the current minimum's holder transitions.
+    until_min: u64,
     banks: Vec<BankState>,
     /// `physical_to_idx[physical]` = index into `cores`, or `usize::MAX`
     /// when that physical core is gated (fixed at construction; coherence
@@ -304,8 +288,9 @@ pub struct Cluster {
     /// instead of a `HashMap` probe.
     txs: GenSlab<Tx>,
     store_tokens: u64,
-    events: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    /// Pending actions, popped in exact `(time, seq)` order (the wheel
+    /// owns the sequence numbering).
+    events: TimingWheel<Action>,
     now: u64,
     paused: bool,
     /// Cores whose status is `Finished` (O(1) completion check).
@@ -453,6 +438,7 @@ impl Cluster {
             computing_mask: 0,
             barrier_mask: 0,
             until: vec![0; cores.len()],
+            until_min: u64::MAX,
             cores,
             statuses,
             banks,
@@ -462,8 +448,7 @@ impl Cluster {
             golden: config.check_golden.then(GoldenMemory::new),
             txs: GenSlab::new(),
             store_tokens: 0,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: TimingWheel::new(),
             now: 0,
             paused: false,
             finished_cores: 0,
@@ -512,6 +497,9 @@ impl Cluster {
     #[inline]
     fn set_status(&mut self, idx: usize, status: CoreStatus) {
         let bit = 1u32 << idx;
+        // Whether this transition can retire the cached `until_min`: the
+        // core held it while computing, and is about to stop (or move it).
+        let held_min = self.computing_mask & bit != 0 && self.until[idx] == self.until_min;
         self.ready_mask &= !bit;
         self.computing_mask &= !bit;
         self.barrier_mask &= !bit;
@@ -520,6 +508,9 @@ impl Cluster {
             CoreStatus::Computing { until } => {
                 self.computing_mask |= bit;
                 self.until[idx] = until;
+                if until < self.until_min {
+                    self.until_min = until;
+                }
             }
             CoreStatus::AtBarrier { .. } => self.barrier_mask |= bit,
             // `Finished` is terminal, so the count can only grow (reset
@@ -528,6 +519,23 @@ impl Cluster {
             CoreStatus::WaitingMem | CoreStatus::WaitingIFetch => {}
         }
         self.statuses[idx] = status;
+        if held_min {
+            self.recompute_until_min();
+        }
+    }
+
+    /// Rebuilds [`Cluster::until_min`] from the computing mask. Only runs
+    /// when the minimum's holder leaves `Computing` — once per compute
+    /// run, not per step.
+    fn recompute_until_min(&mut self) {
+        let mut min = u64::MAX;
+        let mut computing = self.computing_mask;
+        while computing != 0 {
+            let idx = computing.trailing_zeros() as usize;
+            computing &= computing - 1;
+            min = min.min(self.until[idx]);
+        }
+        self.until_min = min;
     }
 
     /// The physical bank that currently serves a home bank index.
@@ -543,12 +551,7 @@ impl Cluster {
     }
 
     fn schedule(&mut self, at: u64, action: Action) {
-        self.seq += 1;
-        self.events.push(Reverse(Scheduled {
-            at,
-            seq: self.seq,
-            action,
-        }));
+        self.events.schedule(at, action);
     }
 
     fn fresh_token(&mut self, core_idx: usize) -> u64 {
@@ -616,10 +619,8 @@ impl Cluster {
 
     /// Fills a line into a core's L1, handling the displaced victim.
     fn l1_fill(&mut self, core_idx: usize, line: LineAddr, value: u64, exclusive: bool) {
-        let evicted = self.cores[core_idx].l1.fill(line, value, exclusive);
-        if let Some(meta) = self.cores[core_idx].l1.payload_mut(line) {
-            meta.exclusive = exclusive;
-        }
+        let (slot, evicted) = self.cores[core_idx].l1.fill_slot(line, value, exclusive);
+        self.cores[core_idx].l1.payload_at_mut(slot).exclusive = exclusive;
         match evicted {
             Some(ev) if ev.dirty => self.l1_writeback(core_idx, ev.addr, ev.data),
             Some(ev) => {
@@ -665,10 +666,10 @@ impl Cluster {
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
 
-        if self.banks[bank_idx].cache.peek(tx.line).is_some() {
+        if let Some(slot) = self.banks[bank_idx].cache.find(tx.line) {
             // --- L2 hit ---------------------------------------------
             self.l2_hits += 1;
-            let extra = self.access_resident_line(bank_idx, tag);
+            let extra = self.access_resident_line(bank_idx, tag, slot);
             self.schedule(
                 done + extra,
                 Action::Respond {
@@ -692,13 +693,15 @@ impl Cluster {
     }
 
     /// Performs the coherence actions and data movement for a transaction
-    /// whose line is resident in `bank_idx`. Returns the extra response
-    /// latency charged for recalls/invalidations. Shared by the L2-hit
-    /// path and the post-refill path (a concurrent miss to the same line
-    /// may find it already filled and owned — the blocking-cache
-    /// equivalent of an MSHR merge).
+    /// whose line is resident in `bank_idx` at `slot` (resolved once by
+    /// the caller — every directory/data access below goes through the
+    /// handle instead of re-probing the tags). Returns the extra
+    /// response latency charged for recalls/invalidations. Shared by the
+    /// L2-hit path and the post-refill path (a concurrent miss to the
+    /// same line may find it already filled and owned — the
+    /// blocking-cache equivalent of an MSHR merge).
     // mot3d-lint: no-alloc
-    fn access_resident_line(&mut self, bank_idx: usize, tag: u64) -> u64 {
+    fn access_resident_line(&mut self, bank_idx: usize, tag: u64, slot: SlotHandle) -> u64 {
         // mot3d-lint: allow(P1) -- callers hold a live tag (removed only at delivery)
         let tx = *self.txs.get(tag).expect("transaction exists");
         let physical = self.cores[tx.core_idx].physical;
@@ -706,10 +709,7 @@ impl Cluster {
         let mut extra = 0u64;
         let oneway = self.interconnect.oneway_latency_hint();
 
-        let dir_owner = self.banks[bank_idx]
-            .cache
-            .payload(tx.line)
-            .and_then(|d| d.owner());
+        let dir_owner = self.banks[bank_idx].cache.payload_at(slot).owner();
         if let Some(owner) = dir_owner {
             if owner != physical {
                 // Recall the modified copy (data already current in L2 by
@@ -725,12 +725,10 @@ impl Cluster {
                         meta.exclusive = false;
                     }
                 }
-                let dir = self.banks[bank_idx]
+                self.banks[bank_idx]
                     .cache
-                    .payload_mut(tx.line)
-                    // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
-                    .expect("resident line has directory");
-                dir.owner_writeback(!is_store);
+                    .payload_at_mut(slot)
+                    .owner_writeback(!is_store);
             }
         }
 
@@ -739,9 +737,7 @@ impl Cluster {
             victims.clear();
             self.banks[bank_idx]
                 .cache
-                .payload_mut(tx.line)
-                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
-                .expect("resident line has directory")
+                .payload_at_mut(slot)
                 .grant_exclusive_into(physical, &mut victims);
             if !victims.is_empty() {
                 extra += 2 * oneway + 2;
@@ -752,23 +748,17 @@ impl Cluster {
             }
             self.scratch_cores = victims;
             // Store becomes architecturally visible now.
-            self.banks[bank_idx].cache.write(tx.line, tx.value);
+            self.banks[bank_idx].cache.write_at(slot, tx.value);
             if let Some(golden) = &mut self.golden {
                 golden.write(tx.line, tx.value);
             }
             self.banks[bank_idx].writes += 1;
         } else {
-            let dir = self.banks[bank_idx]
+            self.banks[bank_idx]
                 .cache
-                .payload_mut(tx.line)
-                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
-                .expect("resident line has directory");
-            dir.add_sharer(physical);
-            let value = self.banks[bank_idx]
-                .cache
-                .read(tx.line)
-                // mot3d-lint: allow(P1) -- access_resident_line runs only on lines peek() found resident
-                .expect("resident line reads");
+                .payload_at_mut(slot)
+                .add_sharer(physical);
+            let value = self.banks[bank_idx].cache.read_at(slot);
             // The load is architecturally ordered *here*; the golden
             // comparison must use this point, not the delivery time (a
             // store ordered in between is not a violation).
@@ -796,35 +786,42 @@ impl Cluster {
         let physical = self.cores[tx.core_idx].physical;
         let is_store = matches!(tx.kind, TxKind::Store | TxKind::Upgrade);
 
-        if self.banks[bank_idx].cache.peek(tx.line).is_none() {
-            let dram_value = self.dram.read_line(tx.line);
-            let evicted = self.banks[bank_idx].cache.fill(tx.line, dram_value, false);
-            if let Some(ev) = evicted {
-                // Maintain inclusion: kick the victim out of any L1
-                // holding it (`ev` is owned, so the sharer iterator can
-                // drive the invalidations directly — no temporary).
-                for h in ev.payload.sharers() {
-                    self.invalidate_l1(h, ev.addr);
-                    self.invalidations += 1;
+        let slot = match self.banks[bank_idx].cache.find(tx.line) {
+            // A concurrent miss filled the line meanwhile.
+            Some(slot) => slot,
+            None => {
+                let dram_value = self.dram.read_line(tx.line);
+                let (slot, evicted) = self.banks[bank_idx]
+                    .cache
+                    .fill_slot(tx.line, dram_value, false);
+                if let Some(ev) = evicted {
+                    // Maintain inclusion: kick the victim out of any L1
+                    // holding it (`ev` is owned, so the sharer iterator can
+                    // drive the invalidations directly — no temporary).
+                    for h in ev.payload.sharers() {
+                        self.invalidate_l1(h, ev.addr);
+                        self.invalidations += 1;
+                    }
+                    if let Some(owner) = ev.payload.owner() {
+                        self.invalidate_l1(owner, ev.addr);
+                        self.invalidations += 1;
+                    }
+                    if ev.dirty {
+                        self.dram.write_line(ev.addr, ev.data);
+                        self.dram_accesses += 1;
+                        // Victim writeback occupies the Miss bus (timing only).
+                        self.bus.enqueue(Transfer {
+                            requester: bank_idx,
+                            tag: WB_TAG,
+                        });
+                    }
                 }
-                if let Some(owner) = ev.payload.owner() {
-                    self.invalidate_l1(owner, ev.addr);
-                    self.invalidations += 1;
-                }
-                if ev.dirty {
-                    self.dram.write_line(ev.addr, ev.data);
-                    self.dram_accesses += 1;
-                    // Victim writeback occupies the Miss bus (timing only).
-                    self.bus.enqueue(Transfer {
-                        requester: bank_idx,
-                        tag: WB_TAG,
-                    });
-                }
+                slot
             }
-        }
-        // A concurrent miss may have filled the line meanwhile; either
-        // way it is resident now and the normal access path applies.
-        let extra = self.access_resident_line(bank_idx, tag);
+        };
+        // Either way the line is resident now at `slot` and the normal
+        // access path applies.
+        let extra = self.access_resident_line(bank_idx, tag, slot);
 
         self.schedule(
             self.now + self.l2_cycles() + extra,
@@ -871,13 +868,12 @@ impl Cluster {
                 // The store was performed at the bank; only cache the
                 // line in M state if we still own it.
                 if self.still_registered(physical, tx.line, true) {
-                    if self.cores[tx.core_idx].l1.peek(tx.line).is_some() {
-                        self.cores[tx.core_idx].l1.write(tx.line, tx.value);
+                    if let Some(slot) = self.cores[tx.core_idx].l1.find(tx.line) {
+                        self.cores[tx.core_idx].l1.write_at(slot, tx.value);
+                        self.cores[tx.core_idx].l1.payload_at_mut(slot).exclusive = true;
                     } else {
+                        // `l1_fill(…, exclusive = true)` marks M state.
                         self.l1_fill(tx.core_idx, tx.line, tx.value, true);
-                    }
-                    if let Some(meta) = self.cores[tx.core_idx].l1.payload_mut(tx.line) {
-                        meta.exclusive = true;
                     }
                 } else {
                     // Ownership was revoked in flight (e.g. a reader
@@ -952,38 +948,38 @@ impl Cluster {
                 self.cores[idx].busy_cycles += 1;
                 self.cores[idx].retired += 1;
                 self.l1_writes += 1;
-                let exclusive = self.cores[idx]
-                    .l1
-                    .payload(line)
-                    .is_some_and(|m| m.exclusive);
-                if exclusive {
-                    // M-state store: 1 cycle; keep L2 architecturally
-                    // current (atomic-at-home-node bookkeeping, no
-                    // traffic).
-                    self.l1_hits += 1;
-                    let token = self.fresh_token(idx);
-                    self.cores[idx].l1.write(line, token);
-                    let bank = self.serving_bank(self.map.home_bank(line));
-                    debug_assert!(
-                        self.banks[bank].cache.peek(line).is_some(),
-                        "inclusion violated for {line:?}"
-                    );
-                    self.banks[bank].cache.write(line, token);
-                    if let Some(golden) = &mut self.golden {
-                        golden.write(line, token);
+                match self.cores[idx].l1.find(line) {
+                    Some(slot) if self.cores[idx].l1.payload_at(slot).exclusive => {
+                        // M-state store: 1 cycle; keep L2 architecturally
+                        // current (atomic-at-home-node bookkeeping, no
+                        // traffic).
+                        self.l1_hits += 1;
+                        let token = self.fresh_token(idx);
+                        self.cores[idx].l1.write_at(slot, token);
+                        let bank = self.serving_bank(self.map.home_bank(line));
+                        let bank_slot = self.banks[bank].cache.find(line);
+                        debug_assert!(bank_slot.is_some(), "inclusion violated for {line:?}");
+                        if let Some(bank_slot) = bank_slot {
+                            self.banks[bank].cache.write_at(bank_slot, token);
+                        }
+                        if let Some(golden) = &mut self.golden {
+                            golden.write(line, token);
+                        }
+                        self.set_status(
+                            idx,
+                            CoreStatus::Computing {
+                                until: self.now + 1,
+                            },
+                        );
                     }
-                    self.set_status(
-                        idx,
-                        CoreStatus::Computing {
-                            until: self.now + 1,
-                        },
-                    );
-                } else if self.cores[idx].l1.peek(line).is_some() {
-                    self.l1_misses += 1;
-                    self.start_tx(idx, line, TxKind::Upgrade);
-                } else {
-                    self.l1_misses += 1;
-                    self.start_tx(idx, line, TxKind::Store);
+                    Some(_) => {
+                        self.l1_misses += 1;
+                        self.start_tx(idx, line, TxKind::Upgrade);
+                    }
+                    None => {
+                        self.l1_misses += 1;
+                        self.start_tx(idx, line, TxKind::Store);
+                    }
                 }
             }
             StreamOp::Op(Op::Barrier(id)) => {
@@ -1026,13 +1022,8 @@ impl Cluster {
         self.interconnect.tick(now);
 
         // Scheduled actions due this cycle.
-        while let Some(Reverse(s)) = self.events.peek() {
-            if s.at > now {
-                break;
-            }
-            // mot3d-lint: allow(P1) -- peek() returned Some on this very heap
-            let Reverse(s) = self.events.pop().expect("peeked");
-            match s.action {
+        while let Some((_, action)) = self.events.pop_due(now) {
+            match action {
                 Action::BusEnqueue { bank, tag } => {
                     self.bus.enqueue(Transfer {
                         requester: bank,
@@ -1115,10 +1106,16 @@ impl Cluster {
         // state in `step_core`; walking the mask in ascending bit order
         // visits them exactly as the full 0..cores scan would. Issuing
         // never changes another core's status, so the snapshot is exact.
+        // A computing core whose deadline is still ahead provably no-ops
+        // in `step_core`, so it is masked out instead of called.
         let mut actionable = self.ready_mask | self.computing_mask;
         while actionable != 0 {
             let idx = actionable.trailing_zeros() as usize;
+            let bit = actionable & actionable.wrapping_neg();
             actionable &= actionable - 1;
+            if self.computing_mask & bit != 0 && self.until[idx] > now {
+                continue;
+            }
             self.step_core(idx);
         }
 
@@ -1155,15 +1152,22 @@ impl Cluster {
             {
                 return Some(self.now);
             }
-            let mut computing = self.computing_mask;
-            while computing != 0 {
-                let idx = computing.trailing_zeros() as usize;
-                computing &= computing - 1;
-                merge(&mut wake, self.until[idx]);
+            debug_assert!({
+                let mut min = u64::MAX;
+                let mut computing = self.computing_mask;
+                while computing != 0 {
+                    let idx = computing.trailing_zeros() as usize;
+                    computing &= computing - 1;
+                    min = min.min(self.until[idx]);
+                }
+                min == self.until_min
+            });
+            if self.until_min != u64::MAX {
+                merge(&mut wake, self.until_min);
             }
         }
-        if let Some(Reverse(s)) = self.events.peek() {
-            merge(&mut wake, s.at);
+        if let Some(t) = self.events.next_time() {
+            merge(&mut wake, t);
         }
         if let Some(t) = self.bus.next_activity(self.now) {
             merge(&mut wake, t);
@@ -1287,6 +1291,7 @@ impl Cluster {
         self.computing_mask = 0;
         self.barrier_mask = 0;
         self.until.fill(0);
+        self.until_min = u64::MAX;
         for (b, bank) in self.banks.iter_mut().enumerate() {
             bank.cache.clear();
             bank.powered = self.mot_cfg.as_ref().is_none_or(|c| c.is_bank_active(b));
@@ -1303,7 +1308,6 @@ impl Cluster {
         self.txs.clear();
         self.store_tokens = 0;
         self.events.clear();
-        self.seq = 0;
         self.now = 0;
         self.paused = false;
         self.finished_cores = 0;
