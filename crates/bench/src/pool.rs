@@ -17,7 +17,7 @@
 //! bit-identical for every thread count, including 1.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Resolves the worker-thread count for `jobs` independent jobs:
 /// `MOT3D_THREADS` if set (minimum 1), otherwise the machine's available
@@ -102,13 +102,18 @@ where
                 }
                 let r = f(i);
                 on_done(i, &r);
-                slots.lock().expect("no poisoned result slots")[i] = Some(r);
+                // Recover a poisoned slot vector: a panicking sibling
+                // job never leaves a slot half-written (the assignment
+                // below is the only mutation), and a long-running
+                // caller wants the surviving jobs' results, not a
+                // second panic.
+                slots.lock().unwrap_or_else(PoisonError::into_inner)[i] = Some(r);
             });
         }
     });
     slots
         .into_inner()
-        .expect("no poisoned result slots")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every job filled its slot"))
         .collect()

@@ -217,6 +217,18 @@ impl<W: Write + Send> JsonLinesSink<W> {
     pub fn new(out: W) -> Self {
         JsonLinesSink { out }
     }
+
+    /// Writes one preformatted line (plus the newline) into the stream
+    /// — the seam the serve crate uses to interleave its own protocol
+    /// lines (per-point failure records) with the record stream without
+    /// duplicating the writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn raw_line(&mut self, line: &str) -> io::Result<()> {
+        writeln!(self.out, "{line}")
+    }
 }
 
 impl JsonLinesSink<AtomicFile> {

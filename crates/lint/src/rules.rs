@@ -10,7 +10,7 @@
 //! | D2 | no iteration in hash-map order on metrics/report paths |
 //! | D3 | no `Instant::now`/`SystemTime`/`env::var` outside bench timing/CLI modules |
 //! | A1 | `// mot3d-lint: no-alloc` regions must not allocate |
-//! | P1 | no `unwrap`/`expect`/`panic!` in library crates outside tests/`debug_assert`s |
+//! | P1 | no `unwrap`/`expect`/`panic!` in library crates (incl. serve) outside tests/`debug_assert`s |
 //! | H1 | no `BinaryHeap` in the simulator hot-path crates (`sim`/`noc`/`mem`) |
 //! | S1 | `mot3d-lint:` markers must parse and name known rules |
 //!
@@ -164,7 +164,10 @@ fn scope_of(rel: &str) -> Scope {
         d1: result_crate,
         d2: METRICS_PATHS.contains(&rel),
         d3: !D3_EXEMPT.contains(&rel),
-        p1: result_crate,
+        // The serve crate is a long-running service: a stray panic
+        // aborts every in-flight submission, so it gets the same
+        // no-panic discipline as the result crates.
+        p1: result_crate || rel.starts_with("crates/serve/src/"),
         h1: H1_CRATES
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
@@ -735,6 +738,12 @@ mod tests {
             !scope_of("crates/serve/src/store.rs").d1,
             "not a result crate"
         );
+        assert!(
+            scope_of("crates/serve/src/exec.rs").p1,
+            "the service must not panic"
+        );
+        assert!(!scope_of("crates/serve/tests/chaos.rs").p1);
+        assert!(!scope_of("crates/bench/src/pool.rs").p1);
         assert!(scope_of("crates/bench/src/report.rs").d2);
     }
 }

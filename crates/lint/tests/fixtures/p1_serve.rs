@@ -1,0 +1,38 @@
+//@ path: crates/serve/src/fixture.rs
+//@ suppressed: 1
+//! Seeded P1 violations in the serve crate: the sweep service is
+//! long-running, so the no-panic discipline extends to it — a stray
+//! `unwrap` aborts every in-flight submission.
+
+fn lock_naively(slot: &std::sync::Mutex<u64>) -> u64 {
+    *slot.lock().unwrap() //~ P1
+}
+
+fn lock_with_a_story(slot: &std::sync::Mutex<u64>) -> u64 {
+    *slot.lock().expect("lock not poisoned") //~ P1
+}
+
+fn abort_the_service() {
+    panic!("connection handler died"); //~ P1
+}
+
+// The poison-recovering idiom the serve crate actually uses.
+fn lock_recovering(slot: &std::sync::Mutex<u64>) -> u64 {
+    *slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn vetted(x: Option<u8>) -> u8 {
+    // mot3d-lint: allow(P1) -- fixture: caller guarantees Some
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let m = std::sync::Mutex::new(7);
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+}

@@ -6,11 +6,13 @@
 //! configuration, mirroring how `mot3d_bench::cli` isolates the bench
 //! crate's env access.
 
-use crate::client;
+use crate::client::{self, RetryPolicy};
+use crate::fault::{FaultPlan, Faults};
 use crate::protocol::PlanRequest;
 use crate::server::{self, ServerConfig};
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Entry point for `mot3d serve` (args exclude the subcommand).
 /// Returns the process exit code (0/1/2 like the bench CLI).
@@ -40,7 +42,7 @@ pub fn run_serve(args: &[String]) -> i32 {
 /// Entry point for `mot3d submit` (args exclude the subcommand).
 /// Returns the process exit code (0/1/2 like the bench CLI).
 pub fn run_submit(args: &[String]) -> i32 {
-    let (addr, request) = match parse_submit(args) {
+    let (addr, request, policy) = match parse_submit(args) {
         Ok(parsed) => parsed,
         Err(UsageError::Help) => {
             print!("{}", submit_usage());
@@ -54,16 +56,49 @@ pub fn run_submit(args: &[String]) -> i32 {
         }
     };
     let stdout = io::stdout();
-    match client::submit(&addr, &request, &mut stdout.lock()) {
+    match client::submit_with_retry(&addr, &request, &mut stdout.lock(), policy) {
         Ok(outcome) => {
+            let failed = if outcome.failed > 0 {
+                format!(", {} failed", outcome.failed)
+            } else {
+                String::new()
+            };
             eprintln!(
-                "mot3d submit: {} points ({} cached, {} deduped, {} executed)",
+                "mot3d submit: {} points ({} cached, {} deduped, {} executed{failed})",
                 outcome.points, outcome.hits, outcome.waited, outcome.executed,
             );
             0
         }
         Err(e) => {
             eprintln!("mot3d submit: {e}");
+            1
+        }
+    }
+}
+
+/// Entry point for `mot3d shutdown` (args exclude the subcommand).
+/// Returns the process exit code (0/1/2 like the bench CLI).
+pub fn run_shutdown(args: &[String]) -> i32 {
+    let addr = match parse_shutdown(args) {
+        Ok(addr) => addr,
+        Err(UsageError::Help) => {
+            print!("{}", shutdown_usage());
+            return 0;
+        }
+        Err(UsageError::Bad(msg)) => {
+            eprintln!("mot3d shutdown: {msg}");
+            eprintln!();
+            eprint!("{}", shutdown_usage());
+            return 2;
+        }
+    };
+    match client::shutdown(&addr) {
+        Ok(()) => {
+            eprintln!("mot3d shutdown: acknowledged by {addr}; server is draining");
+            0
+        }
+        Err(e) => {
+            eprintln!("mot3d shutdown: {e}");
             1
         }
     }
@@ -92,11 +127,21 @@ OPTIONS:
                          (deprecated fallback: MOT3D_THREADS)
   --pool-cap <n>         cluster-cache cap per worker, default 32
   --accept-limit <n>     exit after n connections (CI smoke tests)
+  --fault <spec>         deterministic fault injection (chaos tests):
+                         comma-separated <site>@<index> terms with
+                         sites point, store, drop — e.g. point@0,store@2
+  --fault-seed <u64>     seeded fault schedule (replayable chaos runs)
+
+A failing point streams a typed {\"failed\": true, ...} record and is
+never cached; the rest of the plan completes. `mot3d shutdown` (or the
+accept limit) stops accepting, drains in-flight submissions, flushes
+the store, and exits 0.
 
 PROTOCOL (one JSON document per line):
   client → {\"submit\": \"sweep\", \"bench\": \"fft\", \"scale\": \"tiny\"}
   server → the exact `mot3d sweep --json` stream for that plan,
            then {\"done\": true, ...cache counters...}
+  client → {\"shutdown\": true}          (graceful drain request)
 "
     .to_string()
 }
@@ -123,9 +168,30 @@ OPTIONS:
   --dram <list|all>          200ns, 63ns, 42ns
   --page <flat|open|both>    DRAM page-policy axis
   --repeat <n>               runs per grid cell (each repeat reseeds)
+  --retries <n>              resubmit up to n times on a dead
+                             connection (default 0); completed points
+                             replay from the server cache, so the
+                             retried stream is byte-identical
+  --backoff <ms>             delay before the first retry, doubling
+                             each further retry (default 200)
 
 EXAMPLE:
   mot3d submit --bench fft,radix --dram all --scale tiny > grid.jsonl
+"
+    .to_string()
+}
+
+fn shutdown_usage() -> String {
+    "\
+mot3d shutdown — gracefully drain a running `mot3d serve`
+
+The server acknowledges, stops accepting, finishes every in-flight
+submission, flushes the result store, and exits 0.
+
+USAGE: mot3d shutdown [--addr <host:port>]
+
+OPTIONS:
+  --addr <host:port>     server address, default 127.0.0.1:4016
 "
     .to_string()
 }
@@ -188,6 +254,18 @@ fn parse_serve(args: &[String]) -> Result<ServerConfig, UsageError> {
                 })?;
                 config.accept_limit = Some(n);
             }
+            "--fault" => {
+                let plan = FaultPlan::parse(value).map_err(bad)?;
+                config.faults = Faults::plan(plan);
+            }
+            "--fault-seed" => {
+                let seed: u64 = value.parse().map_err(|_| {
+                    bad(format!(
+                        "--fault-seed needs an unsigned integer, got {value:?}"
+                    ))
+                })?;
+                config.faults = Faults::plan(FaultPlan::from_seed(seed, 16, 2));
+            }
             other => return Err(bad(format!("unknown option {other:?}"))),
         }
     }
@@ -197,9 +275,28 @@ fn parse_serve(args: &[String]) -> Result<ServerConfig, UsageError> {
     Ok(config)
 }
 
-fn parse_submit(args: &[String]) -> Result<(String, PlanRequest), UsageError> {
+fn parse_shutdown(args: &[String]) -> Result<String, UsageError> {
+    let mut addr = "127.0.0.1:4016".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if matches!(flag.as_str(), "--help" | "-h") {
+            return Err(UsageError::Help);
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| bad(format!("{flag} needs a value")))?;
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            other => return Err(bad(format!("unknown option {other:?}"))),
+        }
+    }
+    Ok(addr)
+}
+
+fn parse_submit(args: &[String]) -> Result<(String, PlanRequest, RetryPolicy), UsageError> {
     let mut addr = "127.0.0.1:4016".to_string();
     let mut request = PlanRequest::new("sweep");
+    let mut policy = RetryPolicy::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if matches!(flag.as_str(), "--help" | "-h") {
@@ -229,6 +326,21 @@ fn parse_submit(args: &[String]) -> Result<(String, PlanRequest), UsageError> {
                 })?;
                 request.repeat = Some(r);
             }
+            "--retries" => {
+                policy.retries = value.parse().map_err(|_| {
+                    bad(format!(
+                        "--retries needs an unsigned integer, got {value:?}"
+                    ))
+                })?;
+            }
+            "--backoff" => {
+                let ms: u64 = value.parse().ok().filter(|&ms| ms > 0).ok_or_else(|| {
+                    bad(format!(
+                        "--backoff needs a positive millisecond count, got {value:?}"
+                    ))
+                })?;
+                policy.backoff = Duration::from_millis(ms);
+            }
             other => return Err(bad(format!("unknown option {other:?}"))),
         }
     }
@@ -237,7 +349,7 @@ fn parse_submit(args: &[String]) -> Result<(String, PlanRequest), UsageError> {
         return Err(bad(msg));
     }
     let _ = io::stderr().flush();
-    Ok((addr, request))
+    Ok((addr, request, policy))
 }
 
 #[cfg(test)]
@@ -260,15 +372,27 @@ mod tests {
         assert_eq!(c.threads, Some(3));
         assert_eq!(c.pool_capacity, Some(4));
         assert_eq!(c.accept_limit, Some(2));
+        assert!(!c.faults.is_active(), "no fault flag, no fault plan");
         assert!(parse_serve(&argv("--threads 0")).is_err());
         assert!(parse_serve(&argv("--nope 1")).is_err());
         assert!(parse_serve(&argv("--addr")).is_err(), "missing value");
     }
 
     #[test]
+    fn serve_fault_flags_build_a_plan() {
+        let c = parse_serve(&argv("--fault point@0,store@2")).ok().unwrap();
+        assert!(c.faults.is_active());
+        let c = parse_serve(&argv("--fault-seed 42")).ok().unwrap();
+        assert!(c.faults.is_active());
+        assert!(parse_serve(&argv("--fault bogus@x")).is_err());
+        assert!(parse_serve(&argv("--fault-seed nope")).is_err());
+    }
+
+    #[test]
     fn submit_flags_build_the_request() {
-        let (addr, req) = parse_submit(&argv(
-            "--addr 127.0.0.1:7 --plan p --bench fft --dram all --scale tiny --seed 9 --repeat 2",
+        let (addr, req, policy) = parse_submit(&argv(
+            "--addr 127.0.0.1:7 --plan p --bench fft --dram all --scale tiny --seed 9 --repeat 2 \
+             --retries 3 --backoff 50",
         ))
         .ok()
         .unwrap();
@@ -279,17 +403,32 @@ mod tests {
         assert_eq!(req.scale.as_deref(), Some("tiny"));
         assert_eq!(req.seed, Some(9));
         assert_eq!(req.repeat, Some(2));
+        assert_eq!(policy.retries, 3);
+        assert_eq!(policy.backoff, Duration::from_millis(50));
         assert!(
             parse_submit(&argv("--bench nonesuch")).is_err(),
             "axis values are validated before dialing"
         );
         assert!(parse_submit(&argv("--repeat 0")).is_err());
+        assert!(parse_submit(&argv("--retries x")).is_err());
+        assert!(parse_submit(&argv("--backoff 0")).is_err());
     }
 
     #[test]
     fn defaults_target_the_local_server() {
-        let (addr, req) = parse_submit(&[]).ok().unwrap();
+        let (addr, req, policy) = parse_submit(&[]).ok().unwrap();
         assert_eq!(addr, "127.0.0.1:4016");
         assert_eq!(req, PlanRequest::new("sweep"));
+        assert_eq!(policy, RetryPolicy::default());
+    }
+
+    #[test]
+    fn shutdown_takes_only_an_addr() {
+        assert_eq!(parse_shutdown(&[]).ok().unwrap(), "127.0.0.1:4016");
+        assert_eq!(
+            parse_shutdown(&argv("--addr 10.0.0.1:9")).ok().unwrap(),
+            "10.0.0.1:9"
+        );
+        assert!(parse_shutdown(&argv("--nope 1")).is_err());
     }
 }

@@ -1,9 +1,54 @@
-//! The `mot3d submit` side: send one request, relay the stream.
+//! The `mot3d submit` side: send one request, relay the stream — and
+//! retry it when the connection dies under the submission.
+//!
+//! Resubmission is **idempotent**: every point the server completed on
+//! an earlier attempt replays from its result cache, so the retried
+//! stream is byte-identical to what an uninterrupted submission would
+//! have produced. [`submit_with_retry`] buffers each attempt and only
+//! copies the *successful* attempt to the caller's writer, so a stream
+//! that dies halfway never leaves half-written output behind.
 
 use crate::exec::PlanOutcome;
 use crate::protocol::{self, PlanRequest};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// How [`submit_with_retry`] reacts to a dead connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (`0` = a single attempt).
+    pub retries: u32,
+    /// Delay before the first retry; doubles each further retry
+    /// (exponential backoff).
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// No retries — [`submit`] semantics.
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 0,
+            backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Whether a failed attempt is worth retrying: connection-shaped
+/// errors are; a server-side rejection (`InvalidInput`) never is —
+/// the request would just be rejected again.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
 
 /// Submits `request` to the server at `addr`, copying the header and
 /// every record line (newline included) to `out` as they arrive. The
@@ -43,4 +88,101 @@ pub fn submit(addr: &str, request: &PlanRequest, out: &mut impl Write) -> io::Re
         io::ErrorKind::UnexpectedEof,
         "server closed the connection before the summary line",
     ))
+}
+
+/// [`submit`] with resubmission-on-disconnect: up to `policy.retries`
+/// extra attempts with exponential backoff, each buffered so `out`
+/// receives only the one complete, successful stream. Completed points
+/// replay from the server's cache, so the result is byte-identical to
+/// an uninterrupted run.
+///
+/// # Errors
+///
+/// Fails with the last attempt's error once the policy is exhausted,
+/// or immediately on a non-retryable error (a server rejection).
+pub fn submit_with_retry(
+    addr: &str,
+    request: &PlanRequest,
+    out: &mut impl Write,
+    policy: RetryPolicy,
+) -> io::Result<PlanOutcome> {
+    let mut delay = policy.backoff;
+    let mut attempt = 0u32;
+    loop {
+        let mut buffered: Vec<u8> = Vec::new();
+        match submit(addr, request, &mut buffered) {
+            Ok(outcome) => {
+                out.write_all(&buffered)?;
+                out.flush()?;
+                return Ok(outcome);
+            }
+            Err(e) if retryable(&e) && attempt < policy.retries => {
+                attempt += 1;
+                eprintln!(
+                    "mot3d submit: attempt {attempt} failed ({e}); retrying in {} ms",
+                    delay.as_millis()
+                );
+                std::thread::sleep(delay);
+                delay = delay.checked_mul(2).unwrap_or(delay);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Asks the server at `addr` for a graceful shutdown: stop accepting,
+/// drain in-flight submissions, flush the store, exit 0. Returns once
+/// the server has *acknowledged* the request (the drain itself may
+/// outlive this call).
+///
+/// # Errors
+///
+/// Fails on connection errors or a missing/garbled acknowledgement.
+pub fn shutdown(addr: &str) -> io::Result<()> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{}", protocol::SHUTDOWN_LINE)?;
+    writer.flush()?;
+    let mut ack = String::new();
+    BufReader::new(stream).read_line(&mut ack)?;
+    if protocol::is_shutdown(ack.trim_end_matches(['\n', '\r'])) {
+        Ok(())
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server did not acknowledge the shutdown: {ack:?}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_are_not_retryable_but_disconnects_are() {
+        assert!(!retryable(&io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "x"
+        )));
+        assert!(retryable(&io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "x"
+        )));
+        assert!(retryable(&io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "x"
+        )));
+        assert!(retryable(&io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            "x"
+        )));
+    }
+
+    #[test]
+    fn default_policy_is_single_shot() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.retries, 0);
+        assert!(p.backoff > Duration::ZERO);
+    }
 }

@@ -31,6 +31,16 @@
 //! The header and record lines are exactly the bytes `mot3d sweep
 //! --json` writes for the same plan, so offline and served streams can
 //! be compared byte for byte (CI does).
+//!
+//! ## Failure semantics
+//!
+//! A failing point becomes a typed `{"failed": true, ...}` record in
+//! the stream, never a dropped connection; failed points are never
+//! cached, so a retry re-executes them. A submission owner that dies
+//! mid-point *poisons* its flight and the first waiter takes over the
+//! re-run ([`exec`]); `{"shutdown": true}` drains the server
+//! gracefully; [`fault`] injects deterministic failures for the chaos
+//! tests.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,13 +49,17 @@ pub mod cli;
 pub mod client;
 pub mod codec;
 pub mod exec;
+pub mod fault;
 pub mod json;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod sync;
 
+pub use client::RetryPolicy;
 pub use codec::{cache_key, CacheKey, Fingerprint};
-pub use exec::{CachedExecutor, PlanOutcome};
+pub use exec::{CachedExecutor, PlanOutcome, PointOutcome, MAX_ATTEMPTS};
+pub use fault::{FaultPlan, FaultSite, Faults};
 pub use protocol::PlanRequest;
 pub use server::{serve, BoundServer, ServerConfig};
 pub use store::{ResultStore, StoreStats};

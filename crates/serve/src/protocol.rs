@@ -7,9 +7,17 @@
 //!   bytes `mot3d sweep --json` writes for the same plan
 //!   ([`mot3d_bench::sink::JsonLinesSink`] serialises both), so served
 //!   and offline streams compare byte for byte;
+//! * zero or more **failure** lines — `{"failed": true, "label": ...,
+//!   "error": ...}` for points that failed terminally (a healthy run
+//!   has none, so byte-identity with offline output holds);
 //! * one **summary** line — `{"done": true, ...}` with the submission's
 //!   [`PlanOutcome`] counters and the store's lifetime totals, or
 //!   `{"error": "..."}` if the submission was rejected.
+//!
+//! A client may also send the [`SHUTDOWN_LINE`] control request instead
+//! of a submission: the server acknowledges with the same line, stops
+//! accepting, drains in-flight submissions, flushes the store, and
+//! exits 0.
 //!
 //! A request names the plan and, optionally, any sweep axis; absent
 //! axes keep the [`ExperimentPlan::new`] defaults (all benchmarks, the
@@ -219,12 +227,13 @@ impl PlanRequest {
 pub fn summary_line(outcome: PlanOutcome, store: StoreStats) -> String {
     format!(
         "{{\"done\": true, \"points\": {}, \"hits\": {}, \"waited\": {}, \
-         \"executed\": {}, \"store_hits\": {}, \"store_misses\": {}, \
-         \"store_inserts\": {}}}",
+         \"executed\": {}, \"failed\": {}, \"store_hits\": {}, \
+         \"store_misses\": {}, \"store_inserts\": {}}}",
         outcome.points,
         outcome.hits,
         outcome.waited,
         outcome.executed,
+        outcome.failed,
         store.hits,
         store.misses,
         store.inserts,
@@ -236,13 +245,39 @@ pub fn error_line(message: &str) -> String {
     format!("{{\"error\": {}}}", json_string(message))
 }
 
+/// A per-point failure line (no trailing newline): the point completed
+/// its bounded attempts and failed terminally; the stream continues.
+pub fn failed_line(label: &str, error: &str) -> String {
+    format!(
+        "{{\"failed\": true, \"label\": {}, \"error\": {}}}",
+        json_string(label),
+        json_string(error)
+    )
+}
+
+/// The graceful-shutdown control line — both the client's request and
+/// the server's acknowledgement.
+pub const SHUTDOWN_LINE: &str = "{\"shutdown\": true}";
+
+/// Whether `line` is the shutdown control request/acknowledgement.
+pub fn is_shutdown(line: &str) -> bool {
+    json::parse(line)
+        .ok()
+        .is_some_and(|doc| doc.get("shutdown").and_then(JsonValue::as_bool) == Some(true))
+}
+
 /// Parses a summary line back into its counters, if `line` is one.
-/// Returns `Ok(None)` for record/header lines, `Err` for an
-/// `{"error": ...}` line.
+/// Returns `Ok(None)` for header/record/failure lines, `Err` for an
+/// `{"error": ...}` rejection line.
 pub fn parse_summary(line: &str) -> Result<Option<PlanOutcome>, String> {
     let Ok(doc) = json::parse(line) else {
         return Ok(None); // not a protocol line for us to interpret
     };
+    // Per-point failure lines carry an "error" member too — classify
+    // them (as pass-through stream lines) before the rejection check.
+    if doc.get("failed").and_then(JsonValue::as_bool) == Some(true) {
+        return Ok(None);
+    }
     if let Some(msg) = doc.get("error").and_then(JsonValue::as_str) {
         return Err(msg.to_string());
     }
@@ -255,6 +290,7 @@ pub fn parse_summary(line: &str) -> Result<Option<PlanOutcome>, String> {
         hits: field("hits"),
         waited: field("waited"),
         executed: field("executed"),
+        failed: field("failed"),
     }))
 }
 
@@ -343,7 +379,8 @@ mod tests {
             points: 6,
             hits: 4,
             waited: 1,
-            executed: 1,
+            executed: 2,
+            failed: 1,
         };
         let stats = StoreStats {
             hits: 10,
@@ -358,5 +395,31 @@ mod tests {
             parse_summary(&error_line("boom")).unwrap_err(),
             "boom".to_string()
         );
+    }
+
+    #[test]
+    fn failure_lines_are_stream_lines_not_rejections() {
+        let line = failed_line("fft @ mot3d", "injected fault: point run");
+        // Despite the embedded "error" member, a per-point failure is a
+        // pass-through stream line, not a server rejection.
+        assert_eq!(parse_summary(&line).unwrap(), None);
+        let doc = json::parse(&line).unwrap();
+        assert_eq!(
+            doc.get("label").and_then(JsonValue::as_str),
+            Some("fft @ mot3d")
+        );
+        assert_eq!(
+            doc.get("error").and_then(JsonValue::as_str),
+            Some("injected fault: point run")
+        );
+    }
+
+    #[test]
+    fn shutdown_line_is_recognised() {
+        assert!(is_shutdown(SHUTDOWN_LINE));
+        assert!(!is_shutdown("{\"shutdown\": false}"));
+        assert!(!is_shutdown("{\"submit\": \"sweep\"}"));
+        assert!(!is_shutdown("not json"));
+        assert_eq!(parse_summary(SHUTDOWN_LINE).unwrap(), None);
     }
 }

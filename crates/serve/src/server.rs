@@ -6,16 +6,39 @@
 //! bench crate's [`JsonLinesSink`], which keeps served bytes identical
 //! to offline `mot3d sweep --json` output.
 //!
+//! ## Connection hygiene & shutdown
+//!
+//! Every accepted socket gets read/write deadlines (an idle client
+//! holding a connection open is dropped, a stalled reader cannot wedge
+//! a worker forever), a panicking connection thread is caught and
+//! logged without taking the accept loop down, and two events start a
+//! **graceful drain** — the accept limit, and a client sending the
+//! [`protocol::SHUTDOWN_LINE`] control request: the listener stops
+//! accepting, every in-flight submission runs to completion, the store
+//! flushes, and [`serve`] returns so the process exits 0.
+//!
 //! [`JsonLinesSink`]: mot3d_bench::sink::JsonLinesSink
 
 use crate::codec::Fingerprint;
-use crate::exec::CachedExecutor;
+use crate::exec::{CachedExecutor, PointOutcome};
+use crate::fault::{FaultSite, Faults};
 use crate::protocol::{self, PlanRequest};
 use crate::store::ResultStore;
 use mot3d_bench::sink::{JsonLinesSink, PlanMeta, RecordSink};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Default per-read deadline: an idle client that never sends its
+/// request line is dropped after this long.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default per-write deadline: a client that stops draining its
+/// response stream is dropped once one write blocks this long.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Everything `serve` needs to come up.
 #[derive(Debug, Clone)]
@@ -28,16 +51,23 @@ pub struct ServerConfig {
     pub threads: Option<usize>,
     /// Cap on each worker's thread-local cluster cache.
     pub pool_capacity: Option<usize>,
-    /// Exit after this many connections (CI smoke tests); `None` runs
-    /// until killed.
+    /// Exit after this many successfully accepted connections (CI
+    /// smoke tests); `None` runs until shut down or killed.
     pub accept_limit: Option<u64>,
+    /// Per-read socket deadline (`None` disables — tests only).
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline (`None` disables — tests only).
+    pub write_timeout: Option<Duration>,
+    /// Deterministic fault injection ([`Faults::none`] in production).
+    pub faults: Faults,
     /// Cache-key fingerprint (tests override it to segregate stores).
     pub fingerprint: Fingerprint,
 }
 
 impl ServerConfig {
     /// The default configuration over `cache_dir`: loopback port 4016,
-    /// pool-resolved threads, a 32-cluster pool cap, no accept limit.
+    /// pool-resolved threads, a 32-cluster pool cap, no accept limit,
+    /// 30 s socket deadlines, no fault injection.
     pub fn new(cache_dir: impl Into<PathBuf>) -> Self {
         ServerConfig {
             addr: "127.0.0.1:4016".to_string(),
@@ -45,6 +75,9 @@ impl ServerConfig {
             threads: None,
             pool_capacity: Some(32),
             accept_limit: None,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            write_timeout: Some(DEFAULT_WRITE_TIMEOUT),
+            faults: Faults::none(),
             fingerprint: Fingerprint::current(),
         }
     }
@@ -58,6 +91,8 @@ pub struct BoundServer {
     listener: TcpListener,
     exec: CachedExecutor,
     accept_limit: Option<u64>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -67,18 +102,43 @@ impl ServerConfig {
     ///
     /// Fails when the store cannot open or the address cannot bind.
     pub fn bind(&self) -> io::Result<BoundServer> {
-        let store = ResultStore::open(&self.cache_dir)?;
-        let exec = CachedExecutor::new(
+        let mut store = ResultStore::open(&self.cache_dir)?;
+        store.set_faults(self.faults.clone());
+        let mut exec = CachedExecutor::new(
             store,
             self.fingerprint.clone(),
             self.threads,
             self.pool_capacity,
         );
+        exec.set_faults(self.faults.clone());
         Ok(BoundServer {
             listener: TcpListener::bind(&self.addr)?,
             exec,
             accept_limit: self.accept_limit,
+            read_timeout: self.read_timeout,
+            write_timeout: self.write_timeout,
         })
+    }
+}
+
+/// Tracks the `--accept-limit` budget. Only *successful* accepts spend
+/// a slot — a transient accept error must not silently consume a smoke
+/// test's connection budget.
+#[derive(Debug, Clone, Copy)]
+struct AcceptBudget {
+    limit: Option<u64>,
+    accepted: u64,
+}
+
+impl AcceptBudget {
+    fn new(limit: Option<u64>) -> Self {
+        AcceptBudget { limit, accepted: 0 }
+    }
+
+    /// Records one successful accept; true when the budget is spent.
+    fn spend(&mut self) -> bool {
+        self.accepted += 1;
+        self.limit.is_some_and(|limit| self.accepted >= limit)
     }
 }
 
@@ -92,37 +152,60 @@ impl BoundServer {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop until the accept limit (if any) is reached,
-    /// one thread per connection. Per-connection I/O errors are
+    /// Runs the accept loop until the accept limit is reached or a
+    /// shutdown request arrives, then drains: every connection thread
+    /// joins before this returns, and the store is flushed. One thread
+    /// per connection; per-connection I/O errors (and even panics) are
     /// reported to stderr and do not stop the server.
     pub fn run(self) {
-        let mut accepted: u64 = 0;
+        let shutdown = AtomicBool::new(false);
+        let mut budget = AcceptBudget::new(self.accept_limit);
         std::thread::scope(|scope| {
             for conn in self.listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // likely our own wake-up connection
+                }
                 match conn {
                     Ok(stream) => {
                         let exec = &self.exec;
+                        let listener = &self.listener;
+                        let shutdown = &shutdown;
+                        let timeouts = (self.read_timeout, self.write_timeout);
                         scope.spawn(move || {
                             let peer = peer_label(&stream);
-                            if let Err(e) = handle(exec, stream) {
-                                eprintln!("mot3d serve: {peer}: {e}");
+                            let outcome =
+                                catch_unwind(AssertUnwindSafe(|| handle(exec, stream, timeouts)));
+                            match outcome {
+                                Ok(Ok(Handled::Shutdown)) => {
+                                    eprintln!("mot3d serve: shutdown requested by {peer}");
+                                    shutdown.store(true, Ordering::SeqCst);
+                                    wake_accept_loop(listener);
+                                }
+                                Ok(Ok(Handled::Served)) => {}
+                                Ok(Err(e)) => eprintln!("mot3d serve: {peer}: {e}"),
+                                Err(_) => {
+                                    eprintln!("mot3d serve: {peer}: connection thread panicked")
+                                }
                             }
                         });
+                        if budget.spend() {
+                            break;
+                        }
                     }
                     Err(e) => eprintln!("mot3d serve: accept failed: {e}"),
                 }
-                accepted += 1;
-                if self.accept_limit.is_some_and(|limit| accepted >= limit) {
-                    break;
-                }
             }
+            // Scope join == drain: every accepted connection (including
+            // the one that requested shutdown) finishes its stream.
         });
+        self.exec.flush_store();
     }
 }
 
-/// Runs the service until the accept limit (if any) is reached. Prints
-/// the bound address to stderr as `mot3d serve: listening on <addr>` —
-/// tests and scripts binding port 0 parse that line.
+/// Runs the service until the accept limit is reached or a shutdown
+/// request drains it. Prints the bound address to stderr as
+/// `mot3d serve: listening on <addr>` — tests and scripts binding
+/// port 0 parse that line.
 ///
 /// # Errors
 ///
@@ -130,11 +213,17 @@ impl BoundServer {
 pub fn serve(config: &ServerConfig) -> io::Result<()> {
     let server = config.bind()?;
     eprintln!(
-        "mot3d serve: listening on {} (cache: {})",
+        "mot3d serve: listening on {} (cache: {}{})",
         server.local_addr()?,
-        config.cache_dir.display()
+        config.cache_dir.display(),
+        if config.faults.is_active() {
+            ", FAULT INJECTION ACTIVE"
+        } else {
+            ""
+        }
     );
     server.run();
+    eprintln!("mot3d serve: drained, exiting");
     Ok(())
 }
 
@@ -145,20 +234,56 @@ fn peer_label(stream: &TcpStream) -> String {
     )
 }
 
+/// Unblocks an accept loop parked in `accept(2)` by dialing it once.
+/// An unspecified bind address (0.0.0.0/::) is not dialable, so the
+/// wake-up targets the matching loopback instead.
+fn wake_accept_loop(listener: &TcpListener) {
+    let Ok(mut addr) = listener.local_addr() else {
+        return;
+    };
+    match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => addr.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST)),
+        IpAddr::V6(ip) if ip.is_unspecified() => addr.set_ip(IpAddr::V6(Ipv6Addr::LOCALHOST)),
+        _ => {}
+    }
+    // A refused dial means the loop is no longer parked — fine either way.
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_secs(1));
+}
+
+/// How one connection concluded.
+enum Handled {
+    /// A submission (or a rejection) was streamed.
+    Served,
+    /// The client requested a graceful shutdown (already acknowledged).
+    Shutdown,
+}
+
 /// Serves one connection: read a request line, stream the response.
-fn handle(exec: &CachedExecutor, stream: TcpStream) -> io::Result<()> {
+fn handle(
+    exec: &CachedExecutor,
+    stream: TcpStream,
+    (read_timeout, write_timeout): (Option<Duration>, Option<Duration>),
+) -> io::Result<Handled> {
+    stream.set_read_timeout(read_timeout)?;
+    stream.set_write_timeout(write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     reader.read_line(&mut line)?;
     let mut out = BufWriter::new(stream);
     let trimmed = line.trim_end_matches(['\n', '\r']);
+    if protocol::is_shutdown(trimmed) {
+        writeln!(out, "{}", protocol::SHUTDOWN_LINE)?;
+        out.flush()?;
+        return Ok(Handled::Shutdown);
+    }
     match respond(exec, trimmed, &mut out) {
         Ok(()) => {}
         // The client sees the reason; the server stays up.
         Err(Reject::Client(msg)) => writeln!(out, "{}", protocol::error_line(&msg))?,
         Err(Reject::Io(e)) => return Err(e),
     }
-    out.flush()
+    out.flush()?;
+    Ok(Handled::Served)
 }
 
 /// Why a submission produced no record stream.
@@ -191,6 +316,7 @@ fn respond(
     let scale = request.resolved_scale().map_err(Reject::Client)?;
     // The header + records must be the exact bytes `mot3d sweep --json`
     // writes, so the same sink serialises them.
+    let faults = exec.faults().clone();
     let mut sink = JsonLinesSink::new(&mut *out);
     sink.begin(&PlanMeta {
         plan: &request.name,
@@ -198,7 +324,22 @@ fn respond(
         scale: scale.scale,
         seed: scale.seed,
     })?;
-    let outcome = exec.run_plan(&plan, |record| sink.record(record))?;
+    let outcome = exec.run_plan(&plan, |po| {
+        // An injected mid-stream drop: the line is *not* written and
+        // the connection dies, exactly like a yanked network cable.
+        if faults.should_fail(FaultSite::StreamWrite) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: stream drop",
+            ));
+        }
+        match po {
+            PointOutcome::Record(record) => sink.record(record),
+            PointOutcome::Failed { label, error } => {
+                sink.raw_line(&protocol::failed_line(label, error))
+            }
+        }
+    })?;
     sink.finish()?;
     writeln!(
         out,
@@ -206,4 +347,39 @@ fn respond(
         protocol::summary_line(outcome, exec.store_stats())
     )?;
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `--accept-limit` regression: the budget is only ever charged
+    /// for successful accepts (the `spend` call sits inside the
+    /// `Ok(stream)` arm of the accept loop), so a burst of transient
+    /// accept errors can no longer eat a smoke test's connection
+    /// budget. This pins the counting itself.
+    #[test]
+    fn accept_budget_spends_one_slot_per_successful_accept() {
+        let mut budget = AcceptBudget::new(Some(3));
+        assert!(!budget.spend());
+        assert!(!budget.spend());
+        assert!(budget.spend(), "third successful accept exhausts limit 3");
+        assert!(budget.spend(), "an exhausted budget stays exhausted");
+    }
+
+    #[test]
+    fn unlimited_budget_never_exhausts() {
+        let mut budget = AcceptBudget::new(None);
+        for _ in 0..1000 {
+            assert!(!budget.spend());
+        }
+    }
+
+    #[test]
+    fn default_config_has_socket_deadlines_and_no_faults() {
+        let c = ServerConfig::new("/tmp/x");
+        assert_eq!(c.read_timeout, Some(DEFAULT_READ_TIMEOUT));
+        assert_eq!(c.write_timeout, Some(DEFAULT_WRITE_TIMEOUT));
+        assert!(!c.faults.is_active());
+    }
 }

@@ -25,6 +25,7 @@
 //! truncated away before the store appends anything new.
 
 use crate::codec::{self, CacheKey};
+use crate::fault::{FaultSite, Faults};
 use crate::json::{self, JsonValue};
 use mot3d_phys::fnv::FnvHashMap;
 use mot3d_sim::Metrics;
@@ -66,6 +67,7 @@ pub struct ResultStore {
     seg_len: u64,
     seg_limit: u64,
     stats: StoreStats,
+    faults: Faults,
 }
 
 fn seg_path(dir: &Path, seg: u32) -> PathBuf {
@@ -224,6 +226,7 @@ impl ResultStore {
             seg_len,
             seg_limit: seg_limit.max(1),
             stats: StoreStats::default(),
+            faults: Faults::none(),
         })
     }
 
@@ -245,6 +248,25 @@ impl ResultStore {
     /// Counters since open.
     pub fn stats(&self) -> StoreStats {
         self.stats
+    }
+
+    /// Attaches a fault-injection plan: scheduled
+    /// [`FaultSite::StoreWrite`] operations make [`ResultStore::put`]
+    /// fail with an I/O error before touching the segment file.
+    pub fn set_faults(&mut self, faults: Faults) {
+        self.faults = faults;
+    }
+
+    /// Flushes both append writers. Every [`ResultStore::put`] already
+    /// flushes; this is the graceful-shutdown belt-and-braces for any
+    /// future buffered path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first writer flush failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.seg_out.flush()?;
+        self.index_out.flush()
     }
 
     /// Looks up a cached result (counts a hit or a miss).
@@ -294,6 +316,9 @@ impl ResultStore {
     pub fn put(&mut self, key: CacheKey, metrics: &Metrics) -> io::Result<()> {
         if self.index.contains_key(&key) {
             return Ok(());
+        }
+        if self.faults.should_fail(FaultSite::StoreWrite) {
+            return Err(io::Error::other("injected fault: store write"));
         }
         let line = format!(
             "{{\"key\": \"{}\", \"metrics\": {}}}",

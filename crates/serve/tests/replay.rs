@@ -6,7 +6,7 @@ use mot3d_bench::plan::ExperimentPlan;
 use mot3d_bench::sink::record_json_line;
 use mot3d_bench::ExperimentScale;
 use mot3d_mem::dram::DramKind;
-use mot3d_serve::{CachedExecutor, Fingerprint, ResultStore};
+use mot3d_serve::{CachedExecutor, Fingerprint, PointOutcome, ResultStore};
 use std::path::PathBuf;
 
 fn scratch_dir(name: &str) -> PathBuf {
@@ -31,8 +31,13 @@ fn run_all(exec: &CachedExecutor, plans: &[ExperimentPlan]) -> (Vec<String>, u64
     let (mut hits, mut executed) = (0, 0);
     for plan in plans {
         let outcome = exec
-            .run_plan(plan, |r| {
-                lines.push(record_json_line(r));
+            .run_plan(plan, |o| {
+                match o {
+                    PointOutcome::Record(r) => lines.push(record_json_line(r)),
+                    PointOutcome::Failed { label, error } => {
+                        panic!("unexpected failure for {label}: {error}")
+                    }
+                }
                 Ok(())
             })
             .expect("plan runs");

@@ -111,6 +111,7 @@ fn overlapping_clients_share_work_and_resubmission_is_all_hits() {
             hits: 3,
             waited: 0,
             executed: 0,
+            failed: 0,
         },
         "second submission: hits == point count, zero executions"
     );

@@ -13,7 +13,7 @@
 //! mot3d submit --bench fft --dram all --scale tiny > grid.jsonl
 //! ```
 
-use mot3d_serve::{CachedExecutor, Fingerprint, PlanRequest, ResultStore};
+use mot3d_serve::{CachedExecutor, Fingerprint, PlanRequest, PointOutcome, ResultStore};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cache = std::env::temp_dir().join(format!("mot3d-example-{}", std::process::id()));
@@ -39,8 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plan = request.to_plan()?;
 
     println!("cold pass ({} points):", plan.len());
-    let cold = exec.run_plan(&plan, |record| {
-        println!("  {}", mot3d_bench::sink::record_json_line(record));
+    let cold = exec.run_plan(&plan, |outcome| {
+        match outcome {
+            PointOutcome::Record(record) => {
+                println!("  {}", mot3d_bench::sink::record_json_line(record));
+            }
+            PointOutcome::Failed { label, error } => {
+                println!("  FAILED {label}: {error}");
+            }
+        }
         Ok(())
     })?;
     println!(
