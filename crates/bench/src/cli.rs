@@ -61,7 +61,7 @@ pub fn run(args: impl IntoIterator<Item = String>) -> i32 {
 }
 
 /// The CLI's subcommands (one per replaced binary, plus the ad-hoc
-/// `sweep` and `open-page`).
+/// `sweep`, `open-page`, and the `trace` deep dive).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Cmd {
     Table1,
@@ -73,6 +73,7 @@ enum Cmd {
     Ablation,
     All,
     Sweep,
+    Trace,
 }
 
 /// Parsed command-line options (common + sweep axes).
@@ -90,6 +91,7 @@ struct Options {
     drams: Option<Vec<DramKind>>,
     pages: Option<Vec<bool>>,
     repeats: u32,
+    trace: Option<String>,
 }
 
 enum UsageError {
@@ -117,6 +119,8 @@ COMMANDS:
   ablation   sensitivity studies beyond the paper's figures
   all        everything above, EXPERIMENTS.md-ready
   sweep      ad-hoc declarative grid over any combination of axes
+  trace      single-point deep dive: run one cell with the timeline
+             tracer attached (open the file at ui.perfetto.dev)
   serve      long-running sweep service with a persistent result cache
   submit     send a sweep to a running server (see `mot3d serve --help`)
   lint       run the mot3d-lint static-analysis pass (see `lint --help`)
@@ -144,11 +148,15 @@ SWEEP OPTIONS (comma-separated lists; `all` expands an axis):
   --dram <list|all>          200ns, 63ns, 42ns
   --page <flat|open|both>    DRAM page-policy axis
   --repeat <n>               runs per grid cell (each repeat reseeds)
+  --trace <dir>              write one Perfetto-loadable trace file per run
+                             into <dir> (sweep runs serially; also the
+                             output directory for `mot3d trace`)
 
 EXAMPLES:
   mot3d fig7 --scale 0.35 --threads 8 --json fig7.jsonl
   mot3d all --scale tiny --json bench.json --bench-json BENCH_results.json
   mot3d sweep --bench fft,radix --interconnect mot3d,mesh --dram all --csv grid.csv
+  mot3d trace --bench fft --power-state pc16-mb8 --trace traces/
 "
     .to_string()
 }
@@ -166,6 +174,7 @@ fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
         Some("ablation") => Cmd::Ablation,
         Some("all") => Cmd::All,
         Some("sweep") => Cmd::Sweep,
+        Some("trace") => Cmd::Trace,
         Some(other) => return Err(bad(format!("unknown command {other:?}"))),
     };
     let mut opts = Options {
@@ -213,6 +222,7 @@ fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
                 })?;
                 opts.repeats = r;
             }
+            "--trace" => opts.trace = Some(value.clone()),
             other => return Err(bad(format!("unknown option {other:?}"))),
         }
     }
@@ -222,8 +232,13 @@ fn parse(args: &[String]) -> Result<(Cmd, Options), UsageError> {
         || opts.drams.is_some()
         || opts.pages.is_some()
         || opts.repeats != 1;
-    if sweep_only && cmd != Cmd::Sweep {
-        return Err(bad("axis options (--bench/--interconnect/--power-state/--dram/--page/--repeat) only apply to `mot3d sweep`"));
+    if sweep_only && !matches!(cmd, Cmd::Sweep | Cmd::Trace) {
+        return Err(bad("axis options (--bench/--interconnect/--power-state/--dram/--page/--repeat) only apply to `mot3d sweep` and `mot3d trace`"));
+    }
+    if opts.trace.is_some() && !matches!(cmd, Cmd::Sweep | Cmd::Trace) {
+        return Err(bad(
+            "--trace only applies to `mot3d sweep` and `mot3d trace`",
+        ));
     }
     if matches!(cmd, Cmd::Table1 | Cmd::Fig5)
         && (opts.json.is_some() || opts.csv.is_some() || opts.bench_json.is_some())
@@ -273,6 +288,7 @@ fn max_jobs(cmd: Cmd) -> usize {
         Cmd::Fig6 | Cmd::Fig7 | Cmd::Fig8 | Cmd::All => benches * 4,
         Cmd::OpenPage | Cmd::Ablation => benches * 2,
         Cmd::Sweep => usize::MAX,
+        Cmd::Trace => 1,
     }
 }
 
@@ -368,6 +384,39 @@ impl Ctx {
             plan.run_with(&mut sinks, report::stream_progress)
         } else {
             plan.run_with(&mut sinks, |_, _, _| {})
+        }
+    }
+
+    /// [`Ctx::run_plan`] with the timeline tracer attached: one
+    /// Perfetto-loadable file per point into `trace_dir`, runs serial.
+    /// Returns each record with its trace file path.
+    fn run_plan_traced(
+        &mut self,
+        plan: ExperimentPlan,
+        perf_name: Option<&str>,
+        stream: bool,
+        extra: Option<&mut dyn RecordSink>,
+        trace_dir: &str,
+    ) -> io::Result<Vec<(RunRecord, std::path::PathBuf)>> {
+        let mut perf = perf_name.map(|name| PerfSink::new(&mut self.recorder, name));
+        let mut sinks: Vec<&mut dyn RecordSink> = Vec::new();
+        if let Some(json) = self.json_sink.as_mut() {
+            sinks.push(json);
+        }
+        if let Some(csv) = self.csv_sink.as_mut() {
+            sinks.push(csv);
+        }
+        if let Some(perf) = perf.as_mut() {
+            sinks.push(perf);
+        }
+        if let Some(extra) = extra {
+            sinks.push(extra);
+        }
+        let dir = std::path::Path::new(trace_dir);
+        if stream {
+            plan.run_traced_with(dir, &mut sinks, report::stream_progress)
+        } else {
+            plan.run_traced_with(dir, &mut sinks, |_, _, _| {})
         }
     }
 
@@ -494,6 +543,7 @@ fn execute(cmd: Cmd, opts: &Options) -> io::Result<()> {
         Cmd::Ablation => ablation(&mut ctx)?,
         Cmd::All => all(&mut ctx)?,
         Cmd::Sweep => sweep(&mut ctx, opts)?,
+        Cmd::Trace => trace_point(&mut ctx, opts)?,
     }
     ctx.finish()
 }
@@ -632,10 +682,10 @@ fn ablation(ctx: &mut Ctx) -> io::Result<()> {
     Ok(())
 }
 
-/// `mot3d sweep`: an ad-hoc declarative grid rendered through the
-/// generic table sink.
-fn sweep(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
-    let mut plan = ExperimentPlan::new("sweep")
+/// Assembles the ad-hoc grid `sweep` and `trace` share from the parsed
+/// axis options.
+fn grid_plan(name: &str, ctx: &Ctx, opts: &Options) -> io::Result<ExperimentPlan> {
+    let mut plan = ExperimentPlan::new(name)
         .scale(ctx.scale)
         .repeats(opts.repeats);
     if let Some(benches) = &opts.benches {
@@ -656,14 +706,62 @@ fn sweep(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
     if let Err(msg) = plan.check() {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, msg));
     }
+    Ok(plan)
+}
+
+/// `mot3d sweep`: an ad-hoc declarative grid rendered through the
+/// generic table sink. With `--trace <dir>` the grid runs serially with
+/// the timeline tracer attached, one file per point.
+fn sweep(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
+    let plan = grid_plan("sweep", ctx, opts)?;
     let jobs = plan.len();
-    ctx.clamp_threads(jobs);
-    eprintln!(
-        "running sweep: {} runs at scale {} on {} threads ...",
-        jobs, ctx.scale.scale, ctx.banner_threads,
-    );
     let mut table = TableSink::new(io::stdout());
-    ctx.run_plan(plan, Some("sweep"), true, Some(&mut table))?;
+    if let Some(dir) = opts.trace.clone() {
+        ctx.clamp_threads(1);
+        eprintln!(
+            "running sweep: {} runs at scale {} serially with tracing ...",
+            jobs, ctx.scale.scale,
+        );
+        ctx.run_plan_traced(plan, Some("sweep"), true, Some(&mut table), &dir)?;
+        eprintln!("trace files written to {dir}");
+    } else {
+        ctx.clamp_threads(jobs);
+        eprintln!(
+            "running sweep: {} runs at scale {} on {} threads ...",
+            jobs, ctx.scale.scale, ctx.banner_threads,
+        );
+        ctx.run_plan(plan, Some("sweep"), true, Some(&mut table))?;
+    }
+    Ok(())
+}
+
+/// `mot3d trace`: a single-point deep dive — run one grid cell with the
+/// timeline tracer attached and print where the trace landed.
+fn trace_point(ctx: &mut Ctx, opts: &Options) -> io::Result<()> {
+    let plan = grid_plan("trace", ctx, opts)?;
+    if plan.len() != 1 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "`mot3d trace` is a single-point deep dive but these axes expand \
+                 to {} runs; give one value per axis, or use \
+                 `mot3d sweep --trace <dir>` to trace a grid",
+                plan.len()
+            ),
+        ));
+    }
+    let dir = opts.trace.clone().unwrap_or_else(|| ".".to_string());
+    ctx.clamp_threads(1);
+    let records = ctx.run_plan_traced(plan, Some("trace"), false, None, &dir)?;
+    let (record, path) = &records[0];
+    eprintln!(
+        "{}: {} cycles, {:.3} IPC",
+        record.point.label(),
+        record.metrics.cycles,
+        record.derived.ipc,
+    );
+    println!("{}", path.display());
+    eprintln!("open it at https://ui.perfetto.dev (or chrome://tracing)");
     Ok(())
 }
 
@@ -726,6 +824,37 @@ mod tests {
     fn rejects_axis_flags_outside_sweep() {
         assert!(matches!(
             parse(&argv("fig7 --bench fft")),
+            Err(UsageError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn parses_trace_deep_dive_and_traced_sweeps() {
+        let (cmd, opts) = parse(&argv(
+            "trace --bench fft --power-state pc16-mb8 --trace out/",
+        ))
+        .ok()
+        .unwrap();
+        assert_eq!(cmd, Cmd::Trace);
+        assert_eq!(opts.benches.unwrap(), vec![SplashBenchmark::Fft]);
+        assert_eq!(opts.trace.as_deref(), Some("out/"));
+
+        let (cmd, opts) = parse(&argv("sweep --bench fft --trace traces"))
+            .ok()
+            .unwrap();
+        assert_eq!(cmd, Cmd::Sweep);
+        assert_eq!(opts.trace.as_deref(), Some("traces"));
+        assert_eq!(max_jobs(Cmd::Trace), 1);
+    }
+
+    #[test]
+    fn rejects_trace_dir_outside_sweep_and_trace() {
+        assert!(matches!(
+            parse(&argv("fig7 --trace out/")),
+            Err(UsageError::Bad(_))
+        ));
+        assert!(matches!(
+            parse(&argv("all --trace out/")),
             Err(UsageError::Bad(_))
         ));
     }

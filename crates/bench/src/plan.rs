@@ -405,6 +405,73 @@ impl ExperimentPlan {
         mot3d_sim::shrink_local_pool(8);
         Ok(records)
     }
+
+    /// [`ExperimentPlan::run_with`] with a tracer attached to every
+    /// point: writes one Perfetto-loadable trace file per [`RunPoint`]
+    /// into `trace_dir` (created if needed), named by
+    /// [`mot3d_trace::trace_file_name`] of the point's label. Records
+    /// stream through the sinks in expansion order exactly as the
+    /// untraced path does — and because tracing is observation-only,
+    /// they are bit-identical to the untraced run's (pinned by
+    /// `tests/trace_equivalence.rs`). Points run serially: a deep dive
+    /// trades throughput for one coherent timeline per file.
+    ///
+    /// Returns the records plus the trace file path of each point, in
+    /// expansion order.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidInput` when the plan fails
+    /// [`ExperimentPlan::check`], or the first trace/sink I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator rejects a point (as
+    /// [`ExperimentPlan::run_with`] does); the partial trace of the
+    /// failing point is sealed and kept for diagnosis.
+    pub fn run_traced_with(
+        &self,
+        trace_dir: &std::path::Path,
+        sinks: &mut [&mut dyn RecordSink],
+        progress: impl Fn(usize, usize, &str),
+    ) -> std::io::Result<Vec<(RunRecord, std::path::PathBuf)>> {
+        if let Err(msg) = self.check() {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, msg));
+        }
+        std::fs::create_dir_all(trace_dir)?;
+        let points = self.points();
+        let total = points.len();
+        let meta = PlanMeta {
+            plan: &self.name,
+            points: total,
+            scale: self.scale.scale,
+            seed: self.scale.seed,
+        };
+        for sink in sinks.iter_mut() {
+            sink.begin(&meta)?;
+        }
+        let mut records = Vec::with_capacity(total);
+        for (i, p) in points.iter().enumerate() {
+            let path = trace_dir.join(mot3d_trace::trace_file_name(&p.label()));
+            let metrics = match mot3d_trace::trace_spec(&p.spec, &p.config, &path) {
+                Ok((metrics, _summary)) => metrics,
+                Err(mot3d_trace::TraceError::Io(e)) => return Err(e),
+                Err(mot3d_trace::TraceError::Sim(e)) => panic!("{}: {e}", p.label()),
+            };
+            let record = RunRecord::new(p.clone(), metrics);
+            progress(i + 1, total, &p.label());
+            for sink in sinks.iter_mut() {
+                sink.record(&record)?;
+            }
+            records.push((record, path));
+        }
+        for sink in sinks.iter_mut() {
+            sink.finish()?;
+        }
+        // Traced runs use fresh clusters (observer state is per-run),
+        // so there is no pool growth to shrink back here.
+        Ok(records)
+    }
 }
 
 /// Reorders completion-order records back into expansion order and

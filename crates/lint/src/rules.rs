@@ -12,6 +12,7 @@
 //! | A1 | `// mot3d-lint: no-alloc` regions must not allocate |
 //! | P1 | no `unwrap`/`expect`/`panic!` in library crates (incl. serve) outside tests/`debug_assert`s |
 //! | H1 | no `BinaryHeap` in the simulator hot-path crates (`sim`/`noc`/`mem`) |
+//! | H2 | no `Instant`/`SystemTime` in the trace crate — timestamps are sim cycles |
 //! | S1 | `mot3d-lint:` markers must parse and name known rules |
 //!
 //! Suppression: `// mot3d-lint: allow(<rules>) -- <reason>` on the
@@ -21,7 +22,7 @@
 use crate::lexer::{self, Directive, DirectiveKind, Tok, Token};
 
 /// The known rule ids, in report order.
-pub const RULES: [&str; 7] = ["D1", "D2", "D3", "A1", "P1", "H1", "S1"];
+pub const RULES: [&str; 8] = ["D1", "D2", "D3", "A1", "P1", "H1", "H2", "S1"];
 
 /// One-line rationale shown with every finding of a rule.
 pub fn rationale(rule: &str) -> &'static str {
@@ -52,6 +53,11 @@ pub fn rationale(rule: &str) -> &'static str {
             "the event queues here were migrated to mot3d_phys::wheel::TimingWheel \
              (O(1) schedule/pop, exact (time, seq) order); a BinaryHeap quietly \
              reintroduces the O(log n) sift the wheel replaced"
+        }
+        "H2" => {
+            "trace timestamps are simulated cycles read off the cluster; a \
+             wall-clock read here would stamp events with host time, making \
+             traces irreproducible and useless for cross-run comparison"
         }
         "S1" => {
             "a marker that does not parse silently disables enforcement; fix the \
@@ -114,6 +120,10 @@ const METRICS_PATHS: [&str; 5] = [
 /// event queues ride `mot3d_phys::wheel::TimingWheel` now.
 const H1_CRATES: [&str; 3] = ["sim", "noc", "mem"];
 
+/// The trace crate, where H2 bans wall-clock reads outright: every
+/// event timestamp must be a simulated cycle read off the cluster.
+const H2_PREFIX: &str = "crates/trace/src/";
+
 /// The bench/serve timing/CLI modules, exempt from D3 — the one place
 /// wall-clock and environment reads are part of the job.
 const D3_EXEMPT: [&str; 6] = [
@@ -146,6 +156,7 @@ struct Scope {
     d3: bool,
     p1: bool,
     h1: bool,
+    h2: bool,
 }
 
 fn scope_of(rel: &str) -> Scope {
@@ -160,17 +171,22 @@ fn scope_of(rel: &str) -> Scope {
         || RESULT_CRATES
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    // The trace observer rides the simulator step path: it must not
+    // perturb results (D1), panic out of a sweep (P1), or read the
+    // wall clock (H2 — trace timestamps are simulated cycles).
+    let trace_crate = rel.starts_with(H2_PREFIX);
     Scope {
-        d1: result_crate,
+        d1: result_crate || trace_crate,
         d2: METRICS_PATHS.contains(&rel),
         d3: !D3_EXEMPT.contains(&rel),
         // The serve crate is a long-running service: a stray panic
         // aborts every in-flight submission, so it gets the same
         // no-panic discipline as the result crates.
-        p1: result_crate || rel.starts_with("crates/serve/src/"),
+        p1: result_crate || trace_crate || rel.starts_with("crates/serve/src/"),
         h1: H1_CRATES
             .iter()
             .any(|c| rel.starts_with(&format!("crates/{c}/src/"))),
+        h2: trace_crate,
     }
 }
 
@@ -247,8 +263,14 @@ pub fn check_file(rel: &str, src: &str) -> FileReport {
         }
 
         // D3 — wall-clock / environment reads outside timing modules.
+        // In the trace crate a clock read is the sharper H2 instead:
+        // event timestamps there must be simulated cycles, never host
+        // time. (env reads stay D3 — H2 is specifically about clocks.)
         if scope.d3 && !in_test(idx) {
             match name.as_str() {
+                "Instant" | "SystemTime" if scope.h2 => {
+                    push(t.line, "H2", format!("`{name}` use in trace code"));
+                }
                 "Instant" | "SystemTime" => {
                     push(t.line, "D3", format!("`{name}` use"));
                 }
@@ -724,6 +746,26 @@ mod tests {
     }
 
     #[test]
+    fn h2_reclassifies_clock_reads_in_the_trace_crate() {
+        let src = "fn f() { let t = Instant::now(); let e = SystemTime::now(); }\n";
+        assert_eq!(
+            rules_hit("crates/trace/src/chrome.rs", src),
+            [("H2", 1), ("H2", 1)]
+        );
+        // The same code elsewhere stays D3; trace tests are exempt.
+        assert_eq!(rules_hit(SIM, src), [("D3", 1), ("D3", 1)]);
+        assert_eq!(rules_hit("crates/trace/tests/golden_trace.rs", src), []);
+        // env reads in trace code are still D3 — H2 is clocks only.
+        assert_eq!(
+            rules_hit(
+                "crates/trace/src/lib.rs",
+                "fn f() { let v = std::env::var(\"X\"); }\n"
+            ),
+            [("D3", 1)]
+        );
+    }
+
+    #[test]
     fn scope_table_matches_the_layout() {
         assert!(scope_of("crates/mem/src/dram.rs").d1);
         assert!(scope_of("src/lib.rs").d1);
@@ -745,5 +787,11 @@ mod tests {
         assert!(!scope_of("crates/serve/tests/chaos.rs").p1);
         assert!(!scope_of("crates/bench/src/pool.rs").p1);
         assert!(scope_of("crates/bench/src/report.rs").d2);
+        // The trace crate: no-panic, no default hashers, no clocks.
+        assert!(scope_of("crates/trace/src/observer.rs").p1);
+        assert!(scope_of("crates/trace/src/observer.rs").d1);
+        assert!(scope_of("crates/trace/src/chrome.rs").h2);
+        assert!(!scope_of("crates/trace/tests/differential.rs").h2);
+        assert!(!scope_of("crates/sim/src/cluster.rs").h2);
     }
 }

@@ -1,0 +1,39 @@
+//@ path: crates/trace/src/fixture.rs
+//! Seeded H2 violations: wall-clock reads in the trace crate, where
+//! every event timestamp must be a simulated cycle — plus proof the
+//! trace crate inherits the D1/P1 discipline of the result crates.
+
+fn stamped() {
+    let t0 = Instant::now(); //~ H2
+    let epoch = SystemTime::now(); //~ H2
+    let wall = std::time::Instant::now(); //~ H2
+}
+
+// Environment reads in trace code are still the general D3 — H2 is
+// specifically about clocks.
+fn configured() {
+    let dir = std::env::var("MOT3D_TRACE_DIR"); //~ D3
+}
+
+// The trace observer rides the simulator step path, so the result-crate
+// rules apply: no default hashers, no panicking helpers.
+fn tracked() {
+    let tracks: HashMap<u32, u64> = HashMap::new(); //~ D1 D1
+    let first = tracks.get(&0).unwrap(); //~ P1
+}
+
+// A documented suppression still works — e.g. a one-shot wall-clock
+// read in a cold reporting path.
+fn reported() {
+    // mot3d-lint: allow(H2) -- fixture: documented cold-path exception
+    let t = Instant::now();
+}
+//@ suppressed: 1
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _ = std::time::Instant::now();
+    }
+}

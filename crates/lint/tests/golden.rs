@@ -93,10 +93,10 @@ fn fixtures_produce_exactly_the_annotated_findings() {
         seen_rules.extend(got.into_iter().map(|(_, r)| r));
         checked += 1;
     }
-    assert!(checked >= 8, "expected the full fixture set, saw {checked}");
+    assert!(checked >= 9, "expected the full fixture set, saw {checked}");
     // Every deny-able rule must have at least one seeded violation that
     // the fixture suite detects.
-    for rule in ["D1", "D2", "D3", "A1", "P1", "H1", "S1"] {
+    for rule in ["D1", "D2", "D3", "A1", "P1", "H1", "H2", "S1"] {
         assert!(
             seen_rules.iter().any(|r| r == rule),
             "no fixture exercises {rule}"

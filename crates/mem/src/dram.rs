@@ -204,6 +204,13 @@ impl Dram {
     pub fn timing(&self) -> &DramTiming {
         &self.timing
     }
+
+    /// The row left open in the row buffer by the last access (`None`
+    /// before any access). Under fixed (closed-page) timing the value
+    /// still tracks the last-touched row but carries no latency benefit.
+    pub fn open_row(&self) -> Option<u64> {
+        self.open_row
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,34 @@ impl MotNetwork {
     pub fn energy_model(&self) -> &MotEnergyModel {
         &self.energy_model
     }
+
+    // --- Observability probes (read-only, allocation-free) ---
+
+    /// Bit `b` set while at least one request is queued at bank `b`'s
+    /// arbitration tree awaiting its grant.
+    pub fn waiting_banks(&self) -> u64 {
+        self.bank_busy
+    }
+
+    /// Bit `b` set while a request is still in transit down the tree
+    /// toward bank `b` (injected, not yet landed at the arbiter).
+    pub fn transit_banks(&self) -> u64 {
+        let mut mask = 0u64;
+        for f in &self.transit_req {
+            mask |= 1u64 << f.bank;
+        }
+        mask
+    }
+
+    /// Requests currently in transit from cores toward bank arbiters.
+    pub fn transit_request_depth(&self) -> usize {
+        self.transit_req.len()
+    }
+
+    /// Responses currently in transit from banks back to cores.
+    pub fn transit_response_depth(&self) -> usize {
+        self.transit_resp.len()
+    }
 }
 
 impl Interconnect for MotNetwork {

@@ -116,6 +116,23 @@ impl NocNetwork {
         &self.topo
     }
 
+    // --- Observability probes (read-only, allocation-free) ---
+
+    /// Directed router→router ports still serialising a packet at `now`.
+    pub fn busy_ports(&self, now: u64) -> usize {
+        self.port_free.iter().filter(|&&free| free > now).count()
+    }
+
+    /// Vertical buses still serialising a packet at `now`.
+    pub fn busy_buses(&self, now: u64) -> usize {
+        self.bus_free.iter().filter(|&&free| free > now).count()
+    }
+
+    /// Routers in the topology (the port table is `routers × routers`).
+    pub fn router_count(&self) -> usize {
+        self.routers
+    }
+
     /// The derived parameters.
     pub fn params(&self) -> &NocParams {
         &self.params

@@ -50,6 +50,17 @@ fn retryable(e: &io::Error) -> bool {
     )
 }
 
+/// What one completed submission reported: the outcome counters plus,
+/// for a `"trace": true` submission, the server-side directory its
+/// per-point trace files landed in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitReport {
+    /// The summary line's submission counters.
+    pub outcome: PlanOutcome,
+    /// The summary line's `"trace_dir"`, when the submission was traced.
+    pub trace_dir: Option<String>,
+}
+
 /// Submits `request` to the server at `addr`, copying the header and
 /// every record line (newline included) to `out` as they arrive. The
 /// terminal summary line is consumed, not copied — `out` ends up with
@@ -60,6 +71,20 @@ fn retryable(e: &io::Error) -> bool {
 /// Fails on connection errors, a server-reported `{"error": ...}` line
 /// (as `InvalidInput`), or a stream that ends without a summary.
 pub fn submit(addr: &str, request: &PlanRequest, out: &mut impl Write) -> io::Result<PlanOutcome> {
+    submit_report(addr, request, out).map(|r| r.outcome)
+}
+
+/// [`submit`], also returning the summary's trace directory (set for
+/// `"trace": true` submissions).
+///
+/// # Errors
+///
+/// As [`submit`].
+pub fn submit_report(
+    addr: &str,
+    request: &PlanRequest,
+    out: &mut impl Write,
+) -> io::Result<SubmitReport> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     writeln!(writer, "{}", request.to_line())?;
@@ -74,7 +99,10 @@ pub fn submit(addr: &str, request: &PlanRequest, out: &mut impl Write) -> io::Re
             }
             Ok(Some(outcome)) => {
                 out.flush()?;
-                return Ok(outcome);
+                return Ok(SubmitReport {
+                    outcome,
+                    trace_dir: protocol::summary_trace_dir(&line),
+                });
             }
             Err(msg) => {
                 return Err(io::Error::new(
@@ -106,15 +134,30 @@ pub fn submit_with_retry(
     out: &mut impl Write,
     policy: RetryPolicy,
 ) -> io::Result<PlanOutcome> {
+    submit_report_with_retry(addr, request, out, policy).map(|r| r.outcome)
+}
+
+/// [`submit_with_retry`], also returning the summary's trace directory
+/// (set for `"trace": true` submissions).
+///
+/// # Errors
+///
+/// As [`submit_with_retry`].
+pub fn submit_report_with_retry(
+    addr: &str,
+    request: &PlanRequest,
+    out: &mut impl Write,
+    policy: RetryPolicy,
+) -> io::Result<SubmitReport> {
     let mut delay = policy.backoff;
     let mut attempt = 0u32;
     loop {
         let mut buffered: Vec<u8> = Vec::new();
-        match submit(addr, request, &mut buffered) {
-            Ok(outcome) => {
+        match submit_report(addr, request, &mut buffered) {
+            Ok(report) => {
                 out.write_all(&buffered)?;
                 out.flush()?;
-                return Ok(outcome);
+                return Ok(report);
             }
             Err(e) if retryable(&e) && attempt < policy.retries => {
                 attempt += 1;

@@ -29,6 +29,13 @@
 //!  "repeat": 2, "scale": "tiny", "seed": 7}
 //! ```
 //!
+//! Adding `"trace": true` attaches the timeline tracer: every point
+//! runs fresh (bypassing the result cache), writes one
+//! Perfetto-loadable file under the server's cache directory, and the
+//! summary line carries the directory as `"trace_dir"`. The record
+//! stream itself is unchanged — tracing is observation-only, so traced
+//! records are bit-identical to cached/untraced ones.
+//!
 //! [`RunRecord`]: mot3d_bench::plan::RunRecord
 
 use crate::exec::PlanOutcome;
@@ -62,6 +69,12 @@ pub struct PlanRequest {
     pub scale: Option<String>,
     /// Workload seed override (`"seed"`).
     pub seed: Option<u64>,
+    /// Attach the timeline tracer (`"trace": true`): every point runs
+    /// fresh (bypassing the result cache — a cache hit has no timeline
+    /// to write), one Perfetto-loadable file lands per point under the
+    /// server's cache directory, and the summary line reports the
+    /// directory as `"trace_dir"`.
+    pub trace: bool,
 }
 
 impl PlanRequest {
@@ -128,6 +141,12 @@ impl PlanRequest {
                     .ok_or_else(|| "\"repeat\" must be a positive u32".to_string())?,
             ),
         };
+        let trace = match doc.get("trace") {
+            None | Some(JsonValue::Null) => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| "\"trace\" must be a boolean".to_string())?,
+        };
         Ok(PlanRequest {
             name,
             bench: text("bench")?,
@@ -138,6 +157,7 @@ impl PlanRequest {
             repeat,
             scale,
             seed: u64_field("seed")?,
+            trace,
         })
     }
 
@@ -169,6 +189,9 @@ impl PlanRequest {
         }
         if let Some(seed) = self.seed {
             let _ = write!(s, ", \"seed\": {seed}");
+        }
+        if self.trace {
+            s.push_str(", \"trace\": true");
         }
         s.push('}');
         s
@@ -223,12 +246,13 @@ impl PlanRequest {
 }
 
 /// The terminal success line: submission counters plus the store's
-/// process-lifetime totals (no trailing newline).
-pub fn summary_line(outcome: PlanOutcome, store: StoreStats) -> String {
-    format!(
+/// process-lifetime totals (no trailing newline). A traced submission
+/// also reports the server-side directory its trace files landed in.
+pub fn summary_line(outcome: PlanOutcome, store: StoreStats, trace_dir: Option<&str>) -> String {
+    let mut s = format!(
         "{{\"done\": true, \"points\": {}, \"hits\": {}, \"waited\": {}, \
          \"executed\": {}, \"failed\": {}, \"store_hits\": {}, \
-         \"store_misses\": {}, \"store_inserts\": {}}}",
+         \"store_misses\": {}, \"store_inserts\": {}",
         outcome.points,
         outcome.hits,
         outcome.waited,
@@ -237,7 +261,24 @@ pub fn summary_line(outcome: PlanOutcome, store: StoreStats) -> String {
         store.hits,
         store.misses,
         store.inserts,
-    )
+    );
+    if let Some(dir) = trace_dir {
+        let _ = write!(s, ", \"trace_dir\": {}", json_string(dir));
+    }
+    s.push('}');
+    s
+}
+
+/// The `"trace_dir"` a summary line reports, if `line` is a summary of
+/// a traced submission.
+pub fn summary_trace_dir(line: &str) -> Option<String> {
+    let doc = json::parse(line).ok()?;
+    if doc.get("done").and_then(JsonValue::as_bool) != Some(true) {
+        return None;
+    }
+    doc.get("trace_dir")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
 }
 
 /// The terminal failure line (no trailing newline).
@@ -310,7 +351,9 @@ mod tests {
             repeat: Some(2),
             scale: Some("tiny".to_string()),
             seed: Some(7),
+            trace: true,
         };
+        assert!(req.to_line().ends_with(", \"trace\": true}"));
         assert_eq!(PlanRequest::parse(&req.to_line()).unwrap(), req);
         let bare = PlanRequest::new("sweep");
         assert_eq!(bare.to_line(), "{\"submit\": \"sweep\"}");
@@ -362,6 +405,7 @@ mod tests {
             ("{\"submit\": \"s\", \"repeat\": -1}", "unsigned"),
             ("{\"submit\": \"s\", \"seed\": \"x\"}", "unsigned"),
             ("{\"submit\": \"s\", \"bench\": 1}", "string"),
+            ("{\"submit\": \"s\", \"trace\": 1}", "boolean"),
         ] {
             let err = PlanRequest::parse(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
@@ -387,14 +431,34 @@ mod tests {
             misses: 2,
             inserts: 2,
         };
-        let line = summary_line(outcome, stats);
+        let line = summary_line(outcome, stats, None);
         assert_eq!(parse_summary(&line).unwrap(), Some(outcome));
+        assert_eq!(summary_trace_dir(&line), None);
         assert_eq!(parse_summary("{\"index\": 0}").unwrap(), None);
         assert_eq!(parse_summary("free text").unwrap(), None);
         assert_eq!(
             parse_summary(&error_line("boom")).unwrap_err(),
             "boom".to_string()
         );
+    }
+
+    #[test]
+    fn traced_summaries_report_the_trace_dir() {
+        let outcome = PlanOutcome {
+            points: 2,
+            executed: 2,
+            ..PlanOutcome::default()
+        };
+        let stats = StoreStats::default();
+        let line = summary_line(outcome, stats, Some("/tmp/cache/traces/sweep-0.002-1"));
+        // The extra member must not confuse the counter parser...
+        assert_eq!(parse_summary(&line).unwrap(), Some(outcome));
+        // ...and is recoverable on its own.
+        assert_eq!(
+            summary_trace_dir(&line).as_deref(),
+            Some("/tmp/cache/traces/sweep-0.002-1")
+        );
+        assert_eq!(summary_trace_dir("{\"index\": 0}"), None);
     }
 
     #[test]

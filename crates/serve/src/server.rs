@@ -20,7 +20,7 @@
 //! [`JsonLinesSink`]: mot3d_bench::sink::JsonLinesSink
 
 use crate::codec::Fingerprint;
-use crate::exec::{CachedExecutor, PointOutcome};
+use crate::exec::{CachedExecutor, PlanOutcome, PointOutcome};
 use crate::fault::{FaultSite, Faults};
 use crate::protocol::{self, PlanRequest};
 use crate::store::ResultStore;
@@ -314,6 +314,9 @@ fn respond(
         return Err(Reject::Client(msg));
     }
     let scale = request.resolved_scale().map_err(Reject::Client)?;
+    if request.trace {
+        return respond_traced(exec, &request, &plan, scale, out);
+    }
     // The header + records must be the exact bytes `mot3d sweep --json`
     // writes, so the same sink serialises them.
     let faults = exec.faults().clone();
@@ -344,9 +347,69 @@ fn respond(
     writeln!(
         out,
         "{}",
-        protocol::summary_line(outcome, exec.store_stats())
+        protocol::summary_line(outcome, exec.store_stats(), None)
     )?;
     Ok(())
+}
+
+/// Serves a `"trace": true` submission: every point runs fresh with the
+/// timeline tracer attached, bypassing the result cache and the
+/// in-flight table entirely — a cache hit has no timeline to write, and
+/// traced records are bit-identical to cached ones anyway (tracing is
+/// observation-only). One Perfetto-loadable file lands per point under
+/// `<store_dir>/traces/<plan>-<scale>-<seed>/`; the summary line
+/// reports that directory as `"trace_dir"`.
+fn respond_traced(
+    exec: &CachedExecutor,
+    request: &PlanRequest,
+    plan: &mot3d_bench::plan::ExperimentPlan,
+    scale: mot3d_bench::ExperimentScale,
+    out: &mut BufWriter<TcpStream>,
+) -> Result<(), Reject> {
+    let dir = exec.store_dir().join("traces").join(trace_dir_name(
+        &request.name,
+        scale.scale,
+        scale.seed,
+    ));
+    let records = {
+        // The record stream stays the exact `mot3d sweep --json` bytes;
+        // `run_traced_with` drives begin/record/finish itself.
+        let mut sink = JsonLinesSink::new(&mut *out);
+        plan.run_traced_with(&dir, &mut [&mut sink], |_, _, _| {})?
+    };
+    let n = records.len() as u64;
+    let outcome = PlanOutcome {
+        points: n,
+        executed: n,
+        ..PlanOutcome::default()
+    };
+    writeln!(
+        out,
+        "{}",
+        protocol::summary_line(
+            outcome,
+            exec.store_stats(),
+            Some(&dir.display().to_string())
+        )
+    )?;
+    Ok(())
+}
+
+/// A filesystem-safe per-submission directory name: deterministic in
+/// the request (same plan/scale/seed → same directory, and identical
+/// bytes rewritten), so no server-side counter state is needed.
+fn trace_dir_name(plan: &str, scale: f64, seed: u64) -> String {
+    let safe: String = plan
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{scale}-{seed}")
 }
 
 #[cfg(test)]
@@ -381,5 +444,16 @@ mod tests {
         assert_eq!(c.read_timeout, Some(DEFAULT_READ_TIMEOUT));
         assert_eq!(c.write_timeout, Some(DEFAULT_WRITE_TIMEOUT));
         assert!(!c.faults.is_active());
+    }
+
+    #[test]
+    fn trace_dir_names_are_deterministic_and_filesystem_safe() {
+        assert_eq!(trace_dir_name("sweep", 0.002, 1), "sweep-0.002-1");
+        assert_eq!(
+            trace_dir_name("a b/c", 0.35, 42),
+            trace_dir_name("a b/c", 0.35, 42),
+        );
+        let odd = trace_dir_name("a b/c:d", 0.35, 42);
+        assert!(!odd.contains('/') && !odd.contains(':') && !odd.contains(' '));
     }
 }

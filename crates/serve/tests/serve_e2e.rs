@@ -5,7 +5,7 @@
 //! entirely from the cache.
 
 use mot3d_bench::sink::{record_json_line, JsonLinesSink};
-use mot3d_serve::client::submit;
+use mot3d_serve::client::{submit, submit_report};
 use mot3d_serve::exec::PlanOutcome;
 use mot3d_serve::{Fingerprint, PlanRequest, ServerConfig};
 use std::path::PathBuf;
@@ -198,5 +198,73 @@ fn seeded_repeat_submissions_match_offline_sweeps() {
             record.point.label()
         );
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A `"trace": true` submission streams the same record bytes as the
+/// untraced plan, reports its server-side trace directory in the
+/// summary, and leaves one Perfetto-loadable file per point behind —
+/// all without touching the result cache.
+#[test]
+fn traced_submissions_stream_identical_bytes_and_leave_trace_files() {
+    let dir = scratch_dir("traced");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: Some(1),
+        accept_limit: Some(2),
+        fingerprint: Fingerprint::custom("e2e/4"),
+        ..ServerConfig::new(&dir)
+    };
+    let server = config.bind().unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let untraced = PlanRequest {
+        bench: Some("fft".to_string()),
+        power_state: Some("full,pc16-mb8".to_string()),
+        scale: Some("tiny".to_string()),
+        ..PlanRequest::new("sweep")
+    };
+    let traced = PlanRequest {
+        trace: true,
+        ..untraced.clone()
+    };
+
+    let (traced_out, untraced_out) = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.run());
+        let mut traced_bytes = Vec::new();
+        let report = submit_report(&addr, &traced, &mut traced_bytes).unwrap();
+        let mut untraced_bytes = Vec::new();
+        let outcome = submit(&addr, &untraced, &mut untraced_bytes).unwrap();
+        handle.join().unwrap();
+        ((report, traced_bytes), (outcome, untraced_bytes))
+    });
+
+    // Tracing is observation-only: the served record stream is
+    // byte-identical to the untraced (and offline) one.
+    assert_eq!(traced_out.1, untraced_out.1, "traced vs untraced stream");
+    assert_eq!(traced_out.1, offline_stream(&traced), "traced vs offline");
+
+    // The traced submission ran fresh — no cache interaction — so the
+    // following untraced submission still had to execute everything.
+    let report = traced_out.0;
+    assert_eq!(report.outcome.points, 2);
+    assert_eq!(report.outcome.executed, 2);
+    assert_eq!(report.outcome.hits, 0);
+    assert_eq!(untraced_out.0.executed, 2, "traced run did not cache");
+
+    // One Perfetto-loadable file per point in the reported directory.
+    let trace_dir = PathBuf::from(report.trace_dir.expect("summary carries trace_dir"));
+    assert!(trace_dir.starts_with(&dir), "{}", trace_dir.display());
+    let mut files: Vec<_> = std::fs::read_dir(&trace_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 2, "{files:?}");
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        assert!(text.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"));
+        assert!(text.ends_with("\n]}\n"));
+    }
+
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -39,6 +39,7 @@
 use crate::config::{InterconnectChoice, SimConfig};
 use crate::error::SimError;
 use crate::metrics::{LatencyStats, Metrics};
+use crate::observe::{CoreActivity, InterconnectProbe, MotProbe, NocProbe, NullObserver, Observer};
 use mot3d_mem::addr::{AddressMap, LineAddr};
 use mot3d_mem::bus::{MissBus, Transfer};
 use mot3d_mem::cache::{CacheConfig, SetAssocCache, SlotHandle};
@@ -1016,8 +1017,15 @@ impl Cluster {
     }
 
     /// Advances the cluster by one cycle.
-    // mot3d-lint: no-alloc
     pub fn step(&mut self) {
+        self.step_with(&mut NullObserver);
+    }
+
+    /// [`Cluster::step`] with an [`Observer`] sampled at the end of the
+    /// step (before `now` advances). With [`NullObserver`] the guard
+    /// folds away and this *is* `step` — same machine code, no branch.
+    // mot3d-lint: no-alloc
+    pub fn step_with<O: Observer>(&mut self, obs: &mut O) {
         let now = self.now;
         self.interconnect.tick(now);
 
@@ -1119,6 +1127,9 @@ impl Cluster {
             self.step_core(idx);
         }
 
+        if O::ENABLED {
+            obs.sample(self);
+        }
         self.now += 1;
     }
 
@@ -1186,7 +1197,7 @@ impl Cluster {
     /// to `limit` so the caller's cycle-limit check fires — exactly where
     /// per-cycle stepping would have idled its way to.
     // mot3d-lint: no-alloc
-    fn advance(&mut self, limit: u64) {
+    fn advance_with<O: Observer>(&mut self, limit: u64, obs: &mut O) {
         match self.next_wake() {
             Some(wake) => {
                 if wake > self.now {
@@ -1196,7 +1207,12 @@ impl Cluster {
             None => self.now = limit,
         }
         if self.now < limit {
-            self.step();
+            self.step_with(obs);
+            if O::ENABLED {
+                // Between steps: outside the no-alloc hot path, so a
+                // buffered observer can drain its ring here.
+                obs.maintain();
+            }
         }
     }
 
@@ -1210,11 +1226,31 @@ impl Cluster {
     /// [`SimError::CycleLimit`] if `max_cycles` is exceeded (a deadlock or
     /// runaway configuration).
     pub fn run_to_completion(&mut self) -> Result<(), SimError> {
+        self.run_to_completion_with(&mut NullObserver)
+    }
+
+    /// [`Cluster::run_to_completion`] with an [`Observer`]: samples the
+    /// pre-run state once, then after every executed step, and lets the
+    /// observer [`Observer::maintain`] itself between steps. With
+    /// [`NullObserver`] every hook folds away and this is exactly
+    /// `run_to_completion`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if `max_cycles` is exceeded (a deadlock or
+    /// runaway configuration).
+    pub fn run_to_completion_with<O: Observer>(&mut self, obs: &mut O) -> Result<(), SimError> {
+        if O::ENABLED {
+            // Baseline sample: the cycle-zero state every timeline opens
+            // with (all cores Ready, everything idle).
+            obs.sample(self);
+            obs.maintain();
+        }
         while !self.is_done() {
             if self.now >= self.config.max_cycles {
                 return Err(SimError::CycleLimit(self.config.max_cycles));
             }
-            self.advance(self.config.max_cycles);
+            self.advance_with(self.config.max_cycles, obs);
         }
         Ok(())
     }
@@ -1225,13 +1261,22 @@ impl Cluster {
     /// between the last event before `cycle` and `cycle` itself change
     /// nothing.
     pub fn run_until(&mut self, cycle: u64) {
+        self.run_until_with(cycle, &mut NullObserver);
+    }
+
+    /// [`Cluster::run_until`] with an [`Observer`] (see
+    /// [`Cluster::run_to_completion_with`] for the sampling contract).
+    pub fn run_until_with<O: Observer>(&mut self, cycle: u64, obs: &mut O) {
         while !self.is_done() && self.now < cycle {
             match self.next_wake() {
                 Some(wake) if wake < cycle => {
                     if wake > self.now {
                         self.now = wake;
                     }
-                    self.step();
+                    self.step_with(obs);
+                    if O::ENABLED {
+                        obs.maintain();
+                    }
                 }
                 _ => self.now = cycle,
             }
@@ -1253,7 +1298,7 @@ impl Cluster {
                 self.paused = false;
                 return Err(SimError::CycleLimit(limit));
             }
-            self.advance(limit);
+            self.advance_with(limit, &mut NullObserver);
         }
         self.paused = false;
         Ok(())
@@ -1473,6 +1518,100 @@ impl Cluster {
                 None => self.dram.read_line(line),
             };
             assert_eq!(got, want, "hierarchy lost a store at {line:?}");
+        }
+    }
+}
+
+/// Read-only observability probes: the surface [`Observer`]
+/// implementations sample from. All of these are plain field reads or
+/// O(components) scans — none allocates, so calling them from
+/// [`Observer::sample`] respects the hot-path `no-alloc` invariant.
+impl Cluster {
+    /// Number of active (ungated) cores; observer core indices range
+    /// over `0..active_core_count()`.
+    pub fn active_core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Physical grid id of active core `idx` (gated power states leave
+    /// holes in the physical numbering).
+    pub fn core_physical_id(&self, idx: usize) -> usize {
+        self.cores[idx].physical
+    }
+
+    /// What active core `idx` is doing this cycle.
+    pub fn core_activity(&self, idx: usize) -> CoreActivity {
+        match self.statuses[idx] {
+            CoreStatus::Ready => CoreActivity::Ready,
+            CoreStatus::Computing { .. } => CoreActivity::Computing,
+            CoreStatus::WaitingMem => CoreActivity::WaitingMem,
+            CoreStatus::WaitingIFetch => CoreActivity::WaitingIFetch,
+            CoreStatus::AtBarrier { .. } => CoreActivity::AtBarrier,
+            CoreStatus::Finished => CoreActivity::Finished,
+        }
+    }
+
+    /// Physical L2 banks (including gated ones).
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Whether bank `bank` is powered in the current configuration.
+    pub fn bank_powered(&self, bank: usize) -> bool {
+        self.banks[bank].powered
+    }
+
+    /// Whether bank `bank` is mid-access this cycle (its SRAM array is
+    /// occupied until a scheduled completion).
+    pub fn bank_busy(&self, bank: usize) -> bool {
+        self.banks[bank].free_at > self.now
+    }
+
+    /// Transfers queued on the Miss bus (excluding any granted one).
+    pub fn bus_queue_depth(&self) -> usize {
+        self.bus.queued()
+    }
+
+    /// The DRAM row left open by the last access (`None` before the
+    /// first access or under closed-page timing assumptions).
+    pub fn dram_open_row(&self) -> Option<u64> {
+        self.dram.open_row()
+    }
+
+    /// Outstanding memory transactions (issued, not yet delivered).
+    pub fn in_flight_transactions(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Actions pending in the timing-wheel event queue.
+    pub fn event_queue_depth(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Running `(hits, misses)` counters of the shared L2.
+    pub fn l2_hit_counts(&self) -> (u64, u64) {
+        (self.l2_hits, self.l2_misses)
+    }
+
+    /// Occupancy snapshot of whichever interconnect this cluster runs.
+    pub fn interconnect_probe(&self) -> InterconnectProbe {
+        match &self.interconnect {
+            ClusterNet::Mot(n) => {
+                let topo = n.configuration().topology();
+                InterconnectProbe::Mot(MotProbe {
+                    waiting_banks: n.waiting_banks(),
+                    transit_banks: n.transit_banks(),
+                    transit_requests: n.transit_request_depth(),
+                    transit_responses: n.transit_response_depth(),
+                    routing_levels: topo.routing_levels(),
+                    banks: topo.banks(),
+                })
+            }
+            ClusterNet::Noc(n) => InterconnectProbe::Noc(NocProbe {
+                busy_ports: n.busy_ports(self.now),
+                busy_buses: n.busy_buses(self.now),
+                routers: n.router_count(),
+            }),
         }
     }
 }

@@ -13,6 +13,8 @@
 //! * [`cluster`] — the cluster model, including runtime power-state
 //!   transitions with dirty-bank flushing (§III);
 //! * [`metrics`] — cycles, latency histograms, energy breakdown, EDP;
+//! * [`observe`] — zero-cost-when-off observation hooks on the step path
+//!   (the seam `mot3d_trace` plugs its timeline tracer into);
 //! * [`runner`] — one-call experiment driver.
 //!
 //! # Quick example
@@ -33,12 +35,15 @@ pub mod cluster;
 pub mod config;
 mod error;
 pub mod metrics;
+pub mod observe;
 pub mod runner;
 
 pub use cluster::Cluster;
 pub use config::{InterconnectChoice, SimConfig};
 pub use error::SimError;
 pub use metrics::Metrics;
+pub use observe::{NullObserver, Observer};
 pub use runner::{
-    run_benchmark, run_source, run_spec, set_local_pool_capacity, shrink_local_pool, ClusterPool,
+    run_benchmark, run_source, run_spec, run_spec_observed, set_local_pool_capacity,
+    shrink_local_pool, ClusterPool,
 };

@@ -13,6 +13,7 @@ use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use crate::observe::Observer;
 use mot3d_phys::fnv::FnvHashMap;
 use mot3d_workloads::{streams, SplashBenchmark, WorkloadSource, WorkloadSpec};
 use std::cell::RefCell;
@@ -269,6 +270,35 @@ thread_local! {
 /// ```
 pub fn run_spec(spec: &WorkloadSpec, config: &SimConfig) -> Result<Metrics, SimError> {
     POOL.with(|pool| pool.borrow_mut().run_spec(spec, config))
+}
+
+/// [`run_spec`] with an [`Observer`] attached to the run loop — the
+/// entry point `mot3d_trace` (and any other instrumentation) uses.
+///
+/// Runs on a **fresh** cluster rather than the thread-local pool: an
+/// observed run is a deep dive, and skipping the pool keeps the
+/// observer's timeline starting from the cluster's as-constructed state.
+/// The simulation itself is bit-identical either way (a reset cluster
+/// behaves exactly like a new one — pinned by the pool's own tests and
+/// by `mot3d_trace`'s differential suite).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or the run.
+pub fn run_spec_observed<O: Observer>(
+    spec: &WorkloadSpec,
+    config: &SimConfig,
+    obs: &mut O,
+) -> Result<Metrics, SimError> {
+    let active = config.power_state.active_cores();
+    let fresh = streams(spec, active, config.seed);
+    let mut cluster = Cluster::new(*config, fresh)?;
+    cluster.run_to_completion_with(obs)?;
+    cluster.verify_against_golden();
+    Ok(cluster.metrics(format!(
+        "{} @ {} @ {} @ {}",
+        spec.name, config.interconnect, config.power_state, config.dram
+    )))
 }
 
 /// [`run_spec`] for a [`WorkloadSource`]: resolves the source at length

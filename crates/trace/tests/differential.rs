@@ -1,0 +1,93 @@
+//! Differential suite: tracing must never perturb the simulation.
+//!
+//! For every power state, both interconnect families, every DRAM
+//! option, and both page policies, a traced run's [`Metrics`] must be
+//! **bit-identical** to the untraced run of the same point. The
+//! untraced side goes through the regular pooled [`run_spec`] path —
+//! exactly what sweeps, the server, and the committed BENCH checksums
+//! use — so this pins both "the observer hook changed nothing" and
+//! "a fresh observed cluster equals a pooled one".
+
+use mot3d_mot::PowerState;
+use mot3d_sim::{run_spec, InterconnectChoice, SimConfig};
+use mot3d_trace::{trace_file_name, trace_spec};
+use mot3d_workloads::{SplashBenchmark, WorkloadSpec};
+use std::path::{Path, PathBuf};
+
+fn tiny() -> WorkloadSpec {
+    SplashBenchmark::Fft.spec().scaled(0.002)
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mot3d-trace-diff-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_traced_matches(spec: &WorkloadSpec, config: &SimConfig, dir: &Path, tag: &str) {
+    let untraced = run_spec(spec, config).unwrap();
+    let path = dir.join(trace_file_name(tag));
+    let (traced, summary) = trace_spec(spec, config, &path).unwrap();
+    assert_eq!(traced, untraced, "tracing perturbed the run at {tag}");
+    assert!(summary.events > 0, "empty trace at {tag}");
+    assert_eq!(summary.final_cycle + 1, traced.cycles, "{tag}");
+    assert!(path.exists());
+}
+
+#[test]
+fn metrics_bit_identical_across_all_power_states() {
+    let dir = tmp_dir("power");
+    let spec = tiny();
+    for state in [
+        PowerState::full(),
+        PowerState::pc16_mb8(),
+        PowerState::pc4_mb32(),
+        PowerState::pc4_mb8(),
+    ] {
+        let config = SimConfig::date16().with_power_state(state);
+        assert_traced_matches(&spec, &config, &dir, &format!("{state}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metrics_bit_identical_on_every_noc_baseline() {
+    let dir = tmp_dir("noc");
+    let spec = tiny();
+    for kind in mot3d_noc::NocTopologyKind::all() {
+        let config = SimConfig::date16().with_interconnect(InterconnectChoice::Noc(kind));
+        assert_traced_matches(&spec, &config, &dir, &format!("{kind}"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metrics_bit_identical_across_dram_and_page_policy() {
+    let dir = tmp_dir("dram");
+    let spec = tiny();
+    for kind in mot3d_mem::dram::DramKind::all() {
+        for open_page in [false, true] {
+            let config = SimConfig::date16()
+                .with_dram(kind)
+                .with_open_page(open_page);
+            assert_traced_matches(&spec, &config, &dir, &format!("{kind:?}-{open_page}"));
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn traced_runs_are_deterministic() {
+    let dir = tmp_dir("det");
+    let spec = tiny();
+    let config = SimConfig::date16();
+    let a_path = dir.join("a.trace.json");
+    let b_path = dir.join("b.trace.json");
+    let (ma, _) = trace_spec(&spec, &config, &a_path).unwrap();
+    let (mb, _) = trace_spec(&spec, &config, &b_path).unwrap();
+    assert_eq!(ma, mb);
+    let a = std::fs::read(&a_path).unwrap();
+    let b = std::fs::read(&b_path).unwrap();
+    assert_eq!(a, b, "trace files must be byte-identical run to run");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

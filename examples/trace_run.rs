@@ -1,0 +1,40 @@
+//! Timeline tracing walkthrough: run one benchmark with the tracer
+//! attached and emit a Perfetto-loadable Chrome JSON trace.
+//!
+//! ```text
+//! cargo run --example trace_run
+//! ```
+//!
+//! Then open the printed file at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): core state spans, per-bank L2 occupancy, MoT
+//! level activity, Miss-bus depth, DRAM row phases, and counter tracks,
+//! all stamped with *simulated* cycles (1 cycle displays as 1 µs).
+
+use mot3d::prelude::*;
+use mot3d::trace::{trace_file_name, trace_spec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Trace the deepest power-gated state: the central fold is visible
+    // in the trace as 24 of the 32 bank tracks flat-lining at "(gated)".
+    let config = SimConfig::date16().with_power_state(PowerState::pc16_mb8());
+    let spec = SplashBenchmark::Fft.spec().scaled(0.002);
+
+    let path = trace_file_name("fft @ 3-D MoT @ PC16-MB8 @ 200ns");
+    let (metrics, summary) = trace_spec(&spec, &config, &path)?;
+
+    println!(
+        "traced {} cycles (IPC {:.3}): {} events -> {}",
+        metrics.cycles,
+        metrics.ipc(),
+        summary.events,
+        summary.path.display()
+    );
+    println!("open it at https://ui.perfetto.dev");
+
+    // The zero-cost-when-off guarantee, demonstrated: the traced run's
+    // metrics equal an untraced run of the same point, bit for bit.
+    let untraced = run_spec(&spec, &config)?;
+    assert_eq!(metrics, untraced, "tracing is observation-only");
+    println!("metrics match the untraced run exactly");
+    Ok(())
+}

@@ -16,7 +16,8 @@
 //! * [`noc`] — True 3-D Mesh, Hybrid Bus-Mesh, Hybrid Bus-Tree baselines;
 //! * [`mem`] — caches, MSI directory, Miss bus, DRAM, golden memory;
 //! * [`sim`] — the cluster simulator (Graphite substitute);
-//! * [`workloads`] — the eight SPLASH-2-style programs.
+//! * [`workloads`] — the eight SPLASH-2-style programs;
+//! * [`trace`] — Perfetto-loadable timeline tracing, zero-cost when off.
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use mot3d_mot as mot;
 pub use mot3d_noc as noc;
 pub use mot3d_phys as phys;
 pub use mot3d_sim as sim;
+pub use mot3d_trace as trace;
 pub use mot3d_workloads as workloads;
 
 /// The most commonly used items, in one import.
